@@ -1,0 +1,243 @@
+// Command mltcpsim runs one DNN-job scheduling scenario on a shared
+// bottleneck and reports per-job iteration times, using either the fast
+// fluid simulator or the packet-level TCP stack.
+//
+// Examples:
+//
+//	mltcpsim -jobs gpt3,gpt2,gpt2,gpt2 -policy mltcp
+//	mltcpsim -jobs gpt2,gpt2,gpt2 -policy srpt -duration 60s
+//	mltcpsim -jobs gpt2,gpt2 -level packet -policy mltcp -noise 20ms
+//	mltcpsim -jobs gpt2,gpt2,gpt2,gpt2,gpt2,gpt2 -policy reno -chart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mltcp/internal/config"
+	"mltcp/internal/core"
+	"mltcp/internal/experiments"
+	"mltcp/internal/fluid"
+	"mltcp/internal/sched"
+	"mltcp/internal/sim"
+	"mltcp/internal/trace"
+	"mltcp/internal/units"
+	"mltcp/internal/workload"
+)
+
+var (
+	configFlag   = flag.String("config", "", "JSON scenario file (overrides -jobs/-policy/-gbps/-duration; fluid level)")
+	jobsFlag     = flag.String("jobs", "gpt3,gpt2,gpt2,gpt2", "comma-separated profile names (gpt3, gpt2, bert, resnet50, vgg16, dlrm)")
+	policyFlag   = flag.String("policy", "mltcp", "scheduling policy: mltcp, reno, srpt, pdq, las, pias, centralized")
+	levelFlag    = flag.String("level", "fluid", "simulation fidelity: fluid or packet (packet supports mltcp/reno only)")
+	durationFlag = flag.Duration("duration", 120*time.Second, "simulated time to run")
+	staggerFlag  = flag.Duration("stagger", 10*time.Millisecond, "start-time stagger between jobs")
+	noiseFlag    = flag.Duration("noise", 0, "std of Gaussian compute-time noise per iteration")
+	gbpsFlag     = flag.Float64("gbps", 50, "bottleneck capacity in Gbps (fluid level)")
+	chartFlag    = flag.Bool("chart", false, "print an ASCII bandwidth chart (fluid level)")
+	skipFlag     = flag.Int("skip", 20, "iterations to skip in steady-state averages")
+)
+
+func main() {
+	flag.Parse()
+	if *configFlag != "" {
+		runConfig(*configFlag)
+		return
+	}
+	profiles, err := parseJobs(*jobsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	switch *levelFlag {
+	case "fluid":
+		runFluid(profiles)
+	case "packet":
+		runPacket(profiles)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown level %q\n", *levelFlag)
+		os.Exit(2)
+	}
+}
+
+func runConfig(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	scn, err := config.Load(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	jobs := scn.BuildJobs()
+	s := fluid.New(fluid.Config{Capacity: scn.Capacity(), Policy: scn.FluidPolicy()}, jobs)
+	s.Run(scn.Duration())
+	fmt.Printf("scenario=%s policy=%s capacity=%v duration=%v\n",
+		scn.Name, scn.Policy, scn.Capacity(), scn.Duration())
+	var rows [][]string
+	for _, j := range jobs {
+		ideal := j.Spec.Profile.IdealIterTime(scn.Capacity())
+		skip := *skipFlag
+		if n := len(j.IterDurations); skip >= n {
+			skip = n / 2
+		}
+		avg := j.AvgIterTime(skip)
+		rows = append(rows, []string{
+			j.Spec.Label(),
+			fmt.Sprintf("%d", j.Iterations()),
+			fmt.Sprintf("%.3f", avg.Seconds()),
+			fmt.Sprintf("%.3f", ideal.Seconds()),
+			fmt.Sprintf("%.2f×", avg.Seconds()/ideal.Seconds()),
+		})
+	}
+	fmt.Print(trace.Table([]string{"job", "iters", "avg iter (s)", "ideal (s)", "slowdown"}, rows))
+}
+
+func parseJobs(s string) ([]workload.Profile, error) {
+	known := workload.Profiles()
+	var out []workload.Profile
+	for _, name := range strings.Split(s, ",") {
+		p, ok := known[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown profile %q (have gpt3, gpt2, bert, resnet50, vgg16, dlrm)", name)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no jobs given")
+	}
+	return out, nil
+}
+
+func runFluid(profiles []workload.Profile) {
+	capacity := units.Rate(*gbpsFlag) * units.Gbps
+	var agg *core.AggFunc
+	policy := fluid.Policy(fluid.WeightedShare{})
+	offsets := make([]sim.Time, len(profiles))
+	for i := range offsets {
+		offsets[i] = sim.Time(i) * sim.FromDuration(*staggerFlag)
+	}
+
+	switch *policyFlag {
+	case "mltcp":
+		f := core.Default()
+		agg = &f
+	case "reno":
+	case "srpt":
+		policy = fluid.SRPT{Label: "pfabric"}
+	case "pdq":
+		policy = fluid.SRPT{Label: "pdq"}
+	case "las":
+		policy = fluid.LAS{}
+	case "pias":
+		policy = fluid.PIAS{Thresholds: []int64{int64(100 * units.MB), int64(1000 * units.MB)}}
+	case "centralized":
+		shapes := make([]sched.Shape, len(profiles))
+		for i, p := range profiles {
+			shapes[i] = sched.ShapeOf(p, capacity)
+		}
+		res := sched.Optimize(shapes, sched.Options{Seed: 1})
+		if !res.Interleaved {
+			fmt.Printf("note: no fully interleaved schedule exists; residual overlap %v per hyperperiod\n", res.Overlap)
+		}
+		copy(offsets, res.Offsets)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyFlag)
+		os.Exit(2)
+	}
+
+	jobs := make([]*fluid.Job, len(profiles))
+	for i, p := range profiles {
+		jobs[i] = &fluid.Job{
+			Spec: workload.Spec{
+				Name:        fmt.Sprintf("J%d(%s)", i+1, p.Name),
+				Profile:     p,
+				StartOffset: offsets[i],
+				NoiseStd:    sim.FromDuration(*noiseFlag),
+				Seed:        uint64(i + 1),
+			},
+			Agg: agg,
+		}
+	}
+	cfg := fluid.Config{Capacity: capacity, Policy: policy}
+	if *chartFlag {
+		cfg.TraceBucket = 50 * sim.Millisecond
+	}
+	s := fluid.New(cfg, jobs)
+	s.Run(sim.FromDuration(*durationFlag))
+
+	fmt.Printf("policy=%s capacity=%v duration=%v\n", *policyFlag, capacity, *durationFlag)
+	var rows [][]string
+	for _, j := range jobs {
+		ideal := j.Spec.Profile.IdealIterTime(capacity)
+		skip := *skipFlag
+		if n := len(j.IterDurations); skip >= n {
+			skip = n / 2 // short runs: average the second half
+		}
+		avg := j.AvgIterTime(skip)
+		rows = append(rows, []string{
+			j.Spec.Label(),
+			fmt.Sprintf("%d", j.Iterations()),
+			fmt.Sprintf("%.3f", avg.Seconds()),
+			fmt.Sprintf("%.3f", ideal.Seconds()),
+			fmt.Sprintf("%.2f×", avg.Seconds()/ideal.Seconds()),
+		})
+	}
+	fmt.Print(trace.Table([]string{"job", "iters", "avg iter (s)", "ideal (s)", "slowdown"}, rows))
+	if *chartFlag {
+		var series []trace.Series
+		for _, j := range jobs {
+			bw := s.Trace(j)
+			n := len(bw)
+			if n > 200 {
+				bw = bw[n-200:]
+			}
+			vals := make([]float64, len(bw))
+			for i, r := range bw {
+				vals[i] = float64(r) / 1e9
+			}
+			series = append(series, trace.Series{Name: j.Spec.Label(), Values: vals})
+		}
+		fmt.Print(trace.Chart("bandwidth, last 10s (Gbps)", 100, 10, series...))
+	}
+}
+
+func runPacket(profiles []workload.Profile) {
+	for _, p := range profiles {
+		if p.Name != "gpt2" {
+			fmt.Fprintln(os.Stderr, "packet level currently runs identical gpt2 jobs (scaled to a 500 Mbps bottleneck)")
+			os.Exit(2)
+		}
+	}
+	var res experiments.PacketLevelResult
+	switch *policyFlag {
+	case "mltcp":
+		res = experiments.PacketLevel(len(profiles),
+			experiments.MLTCPRenoFactory(400*sim.Millisecond), "mltcp-reno",
+			sim.FromDuration(*durationFlag), sim.FromDuration(*noiseFlag))
+	case "reno":
+		res = experiments.PacketLevel(len(profiles),
+			experiments.RenoFactory(), "reno",
+			sim.FromDuration(*durationFlag), sim.FromDuration(*noiseFlag))
+	default:
+		fmt.Fprintf(os.Stderr, "packet level supports -policy mltcp or reno, not %q\n", *policyFlag)
+		os.Exit(2)
+	}
+	fmt.Printf("packet-level cc=%s ideal=%v interleaved-at=%d\n", res.CC, res.Ideal, res.InterleavedAt)
+	var rows [][]string
+	for i, avg := range res.SteadyAvg {
+		rows = append(rows, []string{
+			fmt.Sprintf("J%d", i+1),
+			fmt.Sprintf("%d", len(res.IterTimes[i])),
+			fmt.Sprintf("%.3f", avg.Seconds()),
+			fmt.Sprintf("%.2f×", avg.Seconds()/res.Ideal.Seconds()),
+		})
+	}
+	fmt.Print(trace.Table([]string{"job", "iters", "steady iter (s)", "slowdown"}, rows))
+}

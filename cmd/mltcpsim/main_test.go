@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseJobs(t *testing.T) {
+	profiles, err := parseJobs("gpt3, gpt2 ,gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 3 || profiles[0].Name != "gpt3" || profiles[1].Name != "gpt2" {
+		t.Errorf("parsed %v", profiles)
+	}
+}
+
+func TestParseJobsUnknown(t *testing.T) {
+	if _, err := parseJobs("gpt9"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := parseJobs(""); err == nil {
+		t.Error("empty spec accepted")
+	}
+}

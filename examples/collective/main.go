@@ -1,0 +1,62 @@
+// Collective runs the paper's actual testbed arrangement end to end: two
+// DNN jobs, each with two workers on opposite sides of the bottleneck,
+// exchanging gradients by ring all-reduce over MLTCP-Reno TCP flows (the
+// NCCL-over-TCP configuration §5's FAST-socket modification targets). Both
+// jobs start almost together, collide, and slide into an interleaved
+// schedule at the ideal iteration time.
+package main
+
+import (
+	"fmt"
+
+	"mltcp/internal/collective"
+	"mltcp/internal/netsim"
+	"mltcp/internal/sim"
+	"mltcp/internal/tcp"
+	"mltcp/internal/units"
+)
+
+func main() {
+	eng := sim.New()
+	net := netsim.NewDumbbell(eng, netsim.DumbbellConfig{
+		HostPairs:       2,
+		HostRate:        5 * units.Gbps,
+		BottleneckRate:  500 * units.Mbps,
+		HostDelay:       10 * sim.Microsecond,
+		BottleneckDelay: 30 * sim.Microsecond,
+	})
+
+	const (
+		gradientBytes = 12_500_000 // per all-reduce, GPT-2-like at 1/100 scale
+		compute       = 1600 * sim.Millisecond
+	)
+
+	// The traffic-class selector stands in for the modified NCCL FAST
+	// socket plugin: training flows get MLTCP-Reno.
+	selector := collective.DefaultSelector(400 * sim.Millisecond)
+
+	mkJob := func(pair int, baseFlow netsim.FlowID) *collective.Job {
+		ring := collective.NewRing(eng,
+			[]*netsim.Host{net.Left[pair], net.Right[pair]},
+			baseFlow, gradientBytes,
+			selector.Factory(collective.ClassTraining),
+			tcp.Config{DisableSlowStartAfterIdle: true})
+		ring.Pipelined(true)
+		return &collective.Job{Ring: ring, Compute: compute}
+	}
+	j1 := mkJob(0, 1)
+	j2 := mkJob(1, 100)
+	j1.Start(eng, 0, 1)
+	j2.Start(eng, 10*sim.Millisecond, 2)
+
+	eng.RunUntil(220 * sim.Second)
+
+	fmt.Println("two 2-worker ring-allreduce jobs over one 500 Mbps bottleneck (MLTCP-Reno):")
+	for i, j := range []*collective.Job{j1, j2} {
+		n := len(j.IterDurations)
+		fmt.Printf("  job %d: first iteration %.3fs -> steady %.3fs (%d all-reduces)\n",
+			i+1, j.IterDurations[0].Seconds(), j.AvgIterTime(n-10).Seconds(), j.Ring.AllReduces)
+	}
+	fmt.Println("\nthe jobs start congested (~2.0s) and converge to the ~1.81s ideal —")
+	fmt.Println("the same sliding MLTCP produces for single flows, through a real collective.")
+}

@@ -1,0 +1,54 @@
+// Multiresource demonstrates §5's generalization beyond the network:
+// replacing bytes_ratio with job progress turns MLTCP's aggressiveness
+// function into a CPU-core allocator. Three periodic tasks contend for an
+// 8-core machine; fair sharing leaves their busy phases overlapped and
+// iterations inflated, while progress-weighted allocation slides them into
+// an interleaved schedule at the ideal iteration time.
+package main
+
+import (
+	"fmt"
+
+	"mltcp/internal/core"
+	"mltcp/internal/multires"
+	"mltcp/internal/sim"
+	"mltcp/internal/trace"
+)
+
+func main() {
+	const cores = 8.0
+	build := func(agg *core.AggFunc) []*multires.Task {
+		var tasks []*multires.Task
+		for i := 0; i < 3; i++ {
+			tasks = append(tasks, &multires.Task{
+				Name:        fmt.Sprintf("task%d", i+1),
+				WorkUnits:   3.2, // core-seconds per iteration (0.4s at full machine)
+				IdleTime:    800 * sim.Millisecond,
+				StartOffset: sim.Time(i) * 10 * sim.Millisecond,
+				Agg:         agg,
+			})
+		}
+		return tasks
+	}
+
+	fair := build(nil)
+	multires.NewScheduler(cores, fair).Run(120 * sim.Second)
+
+	agg := core.Default()
+	weighted := build(&agg)
+	multires.NewScheduler(cores, weighted).Run(120 * sim.Second)
+
+	ideal := fair[0].IdealIterTime(cores)
+	fmt.Printf("three tasks on %g cores; ideal iteration %.1fs\n\n", cores, ideal.Seconds())
+	var rows [][]string
+	for i := range fair {
+		rows = append(rows, []string{
+			fair[i].Name,
+			fmt.Sprintf("%.3f", fair[i].AvgIterTime(20).Seconds()),
+			fmt.Sprintf("%.3f", weighted[i].AvgIterTime(20).Seconds()),
+		})
+	}
+	fmt.Print(trace.Table([]string{"task", "fair-share iter (s)", "progress-weighted iter (s)"}, rows))
+	fmt.Println("\nprogress-weighted allocation (MLTCP's F applied to task progress)")
+	fmt.Println("interleaves the busy phases, recovering the isolated iteration time.")
+}

@@ -1,0 +1,65 @@
+// Quickstart: augment TCP Reno with MLTCP (Algorithm 1) and watch two DNN
+// training jobs slide into an interleaved schedule on a shared bottleneck —
+// the paper's core result, at packet level, in ~40 lines.
+package main
+
+import (
+	"fmt"
+
+	"mltcp/internal/core"
+	"mltcp/internal/netsim"
+	"mltcp/internal/sim"
+	"mltcp/internal/tcp"
+	"mltcp/internal/units"
+)
+
+func main() {
+	eng := sim.New()
+
+	// A dumbbell: two sender hosts, two receivers, one 500 Mbps
+	// bottleneck — a 1/100-scale version of the paper's testbed.
+	net := netsim.NewDumbbell(eng, netsim.DumbbellConfig{
+		HostPairs:       2,
+		HostRate:        5 * units.Gbps,
+		BottleneckRate:  500 * units.Mbps,
+		HostDelay:       10 * sim.Microsecond,
+		BottleneckDelay: 30 * sim.Microsecond,
+	})
+
+	// Each job sends 12.5 MB per training iteration, then computes for
+	// 1.6 s: the GPT-2-like shape, ideal iteration time 1.8 s.
+	const iterBytes = 12_500_000
+	const compute = 1600 * sim.Millisecond
+
+	for i := 0; i < 2; i++ {
+		i := i
+		// MLTCP-Reno = plain Reno wrapped with the paper's default
+		// aggressiveness function F(r) = 1.75·r + 0.25 and a
+		// per-flow iteration tracker (Algorithm 1).
+		cc := core.Wrap(tcp.NewReno(), core.Default(),
+			core.NewTracker(iterBytes, 400*sim.Millisecond))
+		flow := tcp.NewFlow(eng, netsim.FlowID(i+1), net.Left[i], net.Right[i], cc, tcp.Config{})
+
+		// Drive the DNN loop: send an iteration's gradients, compute,
+		// repeat. Print each iteration's duration.
+		var lastStart sim.Time
+		iter := 0
+		flow.Sender.Drained(func(now sim.Time) {
+			eng.After(compute, func(e *sim.Engine) {
+				iter++
+				fmt.Printf("job %d iteration %2d: %8.3fs\n", i+1, iter, (e.Now() - lastStart).Seconds())
+				lastStart = e.Now()
+				flow.Sender.Write(iterBytes)
+			})
+		})
+		eng.At(sim.Time(i)*10*sim.Millisecond, func(e *sim.Engine) {
+			lastStart = e.Now()
+			flow.Sender.Write(iterBytes)
+		})
+	}
+
+	// Both jobs start (almost) together, so their communication phases
+	// collide at first; MLTCP shifts them apart a little every iteration
+	// until both reach the ideal 1.8 s.
+	eng.RunUntil(30 * sim.Second)
+}

@@ -1,0 +1,45 @@
+package mltcp_test
+
+import (
+	"testing"
+
+	"mltcp"
+	"mltcp/internal/sim"
+)
+
+func TestFacadeAggressiveness(t *testing.T) {
+	f := mltcp.DefaultAggressiveness()
+	if got := f.Eval(1); got != 2.0 {
+		t.Errorf("DefaultAggressiveness F(1) = %v, want 2", got)
+	}
+	lin := mltcp.LinearAggressiveness(2, 0.5)
+	if got := lin.Eval(0.5); got != 1.5 {
+		t.Errorf("LinearAggressiveness(2,0.5)(0.5) = %v, want 1.5", got)
+	}
+	if got := len(mltcp.PaperAggressivenessFunctions()); got != 6 {
+		t.Errorf("PaperAggressivenessFunctions returned %d, want 6", got)
+	}
+}
+
+func TestFacadeConstruction(t *testing.T) {
+	m := mltcp.NewMLTCPReno(1_000_000, 100*sim.Millisecond)
+	if m.Name() != "mltcp-reno" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	w := mltcp.Wrap(mltcp.NewCubicCC(), mltcp.DefaultAggressiveness(),
+		mltcp.NewTracker(1000, sim.Second))
+	if w.Name() != "mltcp-cubic" {
+		t.Errorf("Name = %q", w.Name())
+	}
+	l := mltcp.NewLearner(0, 0)
+	if l.Learned() {
+		t.Error("fresh learner claims learned")
+	}
+	wl := mltcp.Wrap(mltcp.NewDCTCPCC(), mltcp.DefaultAggressiveness(), l)
+	if wl.Name() != "mltcp-dctcp" {
+		t.Errorf("Name = %q", wl.Name())
+	}
+	if mltcp.NewRenoCC().Name() != "reno" {
+		t.Error("NewRenoCC")
+	}
+}

@@ -1,0 +1,3 @@
+module mltcp
+
+go 1.22

@@ -1,0 +1,226 @@
+// Package analysis implements §4 of the paper: the Shift function created
+// by MLTCP's unequal bandwidth sharing (Equation 3), the Loss function
+// whose negative integral it is (Equation 4), the gradient-descent view of
+// iteration-by-iteration convergence, and the Gaussian-noise approximation
+// error bound.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"mltcp/internal/core"
+	"mltcp/internal/sim"
+)
+
+// Params describes the two-identical-jobs setting of Figure 5: jobs with
+// ideal iteration time T whose communication phase lasts a·T at full rate,
+// using the linear aggressiveness function Slope·r + Intercept.
+type Params struct {
+	// Slope and Intercept parameterize Equation 2.
+	Slope, Intercept float64
+	// Alpha is a, the communication fraction of the iteration (0 < a <= 1/2
+	// for an interleaved schedule of two jobs to exist).
+	Alpha float64
+	// Period is T, the ideal iteration time.
+	Period sim.Time
+}
+
+// DefaultParams returns the paper's constants with the given job shape.
+func DefaultParams(alpha float64, period sim.Time) Params {
+	return Params{Slope: core.DefaultSlope, Intercept: core.DefaultIntercept, Alpha: alpha, Period: period}
+}
+
+func (p Params) validate() {
+	if p.Slope <= 0 || p.Intercept <= 0 {
+		panic(fmt.Sprintf("analysis: Slope and Intercept must be positive (got %v, %v)", p.Slope, p.Intercept))
+	}
+	if p.Alpha <= 0 || p.Alpha > 1 {
+		panic(fmt.Sprintf("analysis: Alpha must be in (0, 1], got %v", p.Alpha))
+	}
+	if p.Period <= 0 {
+		panic("analysis: Period must be positive")
+	}
+}
+
+// rawShift evaluates Equation 3 for delta in [0, aT], both in seconds:
+//
+//	Shift(Δ) = Slope·Δ·(aT − Δ) / (aT·Intercept + Δ·Slope)
+func (p Params) rawShift(delta float64) float64 {
+	aT := p.Alpha * p.Period.Seconds()
+	return p.Slope * delta * (aT - delta) / (aT*p.Intercept + delta*p.Slope)
+}
+
+// Shift returns the per-iteration change in the start-time difference
+// between the two jobs when the current difference is delta. The domain is
+// extended beyond Equation 3's overlap window [0, aT]:
+//
+//   - Δ (mod T) in [0, aT]: the leader's comm overlaps the follower's from
+//     the front; the gap widens by Equation 3 (positive shift).
+//   - Δ (mod T) in [aT, T−aT]: phases are disjoint; no shift (the minimum
+//     plateau of the loss).
+//   - Δ (mod T) in [T−aT, T]: the follower's comm overlaps the leader's
+//     next iteration from behind; by symmetry the gap shrinks,
+//     Shift = −Shift(T − Δ).
+func (p Params) Shift(delta sim.Time) sim.Time {
+	p.validate()
+	T := p.Period.Seconds()
+	aT := p.Alpha * T
+	d := math.Mod(delta.Seconds(), T)
+	if d < 0 {
+		d += T
+	}
+	switch {
+	case d <= aT:
+		return sim.FromSeconds(p.rawShift(d))
+	case d >= T-aT:
+		return sim.FromSeconds(-p.rawShift(T - d))
+	default:
+		return 0
+	}
+}
+
+// Loss evaluates Equation 4, the negative integral of the shift from 0 to
+// delta, in seconds² (the natural unit of ∫shift dΔ). It is 0 at Δ=0,
+// decreases while the shift is positive, is flat on the interleaved
+// plateau, and rises back toward 0 as Δ approaches T — the shape of
+// Figure 5(c).
+func (p Params) Loss(delta sim.Time) float64 {
+	p.validate()
+	const steps = 2000
+	d := delta.Seconds()
+	if d == 0 {
+		return 0
+	}
+	// Simpson's rule over [0, d].
+	h := d / steps
+	sum := p.shiftSec(0) + p.shiftSec(d)
+	for i := 1; i < steps; i++ {
+		x := float64(i) * h
+		w := 2.0
+		if i%2 == 1 {
+			w = 4.0
+		}
+		sum += w * p.shiftSec(x)
+	}
+	integral := sum * h / 3
+	return -integral
+}
+
+func (p Params) shiftSec(d float64) float64 {
+	return p.Shift(sim.FromSeconds(d)).Seconds()
+}
+
+// LossClosedForm evaluates Equation 4 analytically. Substituting
+// u = aT·I + S·x into −∫ S·x(aT−x)/(aT·I + S·x) dx gives
+//
+//	−(1/S²)·[ −u²/2 + (K+b)·u − bK·ln u ]  from u=b to u=b+SΔ,
+//
+// with b = aT·I and K = aT·S + b. Beyond the overlap window the loss is
+// constant on the plateau and mirrors back symmetrically toward Δ = T.
+func (p Params) LossClosedForm(delta sim.Time) float64 {
+	p.validate()
+	T := p.Period.Seconds()
+	aT := p.Alpha * T
+	d := math.Mod(delta.Seconds(), T)
+	if d < 0 {
+		d += T
+	}
+	switch {
+	case d <= aT:
+		return -p.frontIntegral(d)
+	case d < T-aT:
+		return -p.frontIntegral(aT)
+	default:
+		// By the antisymmetry Shift(T−x) = −Shift(x), the integral
+		// over [T−aT, d] cancels part of the plateau minimum:
+		// Loss(d) = Loss(aT) + [front(aT) − front(T−d)].
+		return -p.frontIntegral(aT) + (p.frontIntegral(aT) - p.frontIntegral(T-d))
+	}
+}
+
+// frontIntegral computes ∫₀^d Shift(x) dx for d in [0, aT], closed form.
+func (p Params) frontIntegral(d float64) float64 {
+	aT := p.Alpha * p.Period.Seconds()
+	S := p.Slope
+	b := aT * p.Intercept
+	K := aT*S + b
+	f := func(u float64) float64 {
+		return -u*u/2 + (K+b)*u - b*K*math.Log(u)
+	}
+	u0, u1 := b, b+S*d
+	return (f(u1) - f(u0)) / (S * S)
+}
+
+// LossCurve samples Loss at n+1 evenly spaced points across one period,
+// returning (delta seconds, loss) pairs for Figure 5(c).
+func (p Params) LossCurve(n int) (deltas, losses []float64) {
+	p.validate()
+	if n < 2 {
+		panic("analysis: LossCurve needs n >= 2")
+	}
+	T := p.Period.Seconds()
+	for i := 0; i <= n; i++ {
+		d := T * float64(i) / float64(n)
+		deltas = append(deltas, d)
+		losses = append(losses, p.Loss(sim.FromSeconds(d)))
+	}
+	return deltas, losses
+}
+
+// Descend iterates Δ_{i+1} = Δ_i + Shift(Δ_i) from delta0 for iters
+// iterations — the gradient descent the paper proves MLTCP performs — and
+// returns the trajectory including the starting point.
+func (p Params) Descend(delta0 sim.Time, iters int) []sim.Time {
+	p.validate()
+	traj := make([]sim.Time, 0, iters+1)
+	d := delta0
+	traj = append(traj, d)
+	for i := 0; i < iters; i++ {
+		d += p.Shift(d)
+		traj = append(traj, d)
+	}
+	return traj
+}
+
+// Interleaved reports whether a start-time difference leaves the two comm
+// phases disjoint (within tolerance tol).
+func (p Params) Interleaved(delta sim.Time, tol sim.Time) bool {
+	T := p.Period.Seconds()
+	aT := p.Alpha * T
+	d := math.Mod(delta.Seconds(), T)
+	if d < 0 {
+		d += T
+	}
+	return d >= aT-tol.Seconds() && d <= T-aT+tol.Seconds()
+}
+
+// ConvergenceIteration returns the first index in a Descend trajectory
+// where the configuration is interleaved (and stays interleaved through the
+// end), or -1 if it never converges.
+func (p Params) ConvergenceIteration(traj []sim.Time, tol sim.Time) int {
+	for i := range traj {
+		ok := true
+		for _, d := range traj[i:] {
+			if !p.Interleaved(d, tol) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// NoiseErrorStd returns §4's bound on MLTCP's steady-state approximation
+// error: with zero-mean Gaussian noise of standard deviation sigma in the
+// jobs' iteration times, the convergence error is normal with mean zero and
+// standard deviation 2σ(1 + Intercept/Slope).
+func NoiseErrorStd(sigma sim.Time, slope, intercept float64) sim.Time {
+	if slope <= 0 {
+		panic("analysis: slope must be positive")
+	}
+	return sim.FromSeconds(2 * sigma.Seconds() * (1 + intercept/slope))
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mltcp/internal/sim"
+)
+
+func params(alpha float64) Params {
+	return DefaultParams(alpha, 1800*sim.Millisecond)
+}
+
+func TestShiftZeroAtBoundaries(t *testing.T) {
+	p := params(0.5)
+	if got := p.Shift(0); got != 0 {
+		t.Errorf("Shift(0) = %v, want 0", got)
+	}
+	aT := sim.FromSeconds(0.5 * 1.8)
+	if got := p.Shift(aT); got != 0 {
+		t.Errorf("Shift(aT) = %v, want 0", got)
+	}
+	if got := p.Shift(p.Period); got != 0 {
+		t.Errorf("Shift(T) = %v, want 0 (wraps to 0)", got)
+	}
+}
+
+func TestShiftPositiveInOverlapWindow(t *testing.T) {
+	p := params(1.0 / 6)
+	aT := p.Alpha * p.Period.Seconds()
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		d := sim.FromSeconds(aT * frac)
+		if got := p.Shift(d); got <= 0 {
+			t.Errorf("Shift(%v) = %v, want > 0", d, got)
+		}
+	}
+}
+
+func TestShiftMatchesEquationThree(t *testing.T) {
+	// Hand-evaluate Eq. 3 at Δ = 0.15s with a=1/6, T=1.8s, S=1.75, I=0.25.
+	p := params(1.0 / 6)
+	aT := 0.3
+	delta := 0.15
+	want := 1.75 * delta * (aT - delta) / (aT*0.25 + delta*1.75)
+	got := p.Shift(sim.FromSeconds(delta)).Seconds()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Shift(0.15s) = %v, want %v", got, want)
+	}
+}
+
+func TestShiftAntisymmetricNearPeriod(t *testing.T) {
+	p := params(0.5)
+	d := 100 * sim.Millisecond
+	fwd := p.Shift(d)
+	back := p.Shift(p.Period - d)
+	if fwd != -back {
+		t.Errorf("Shift(T-Δ) = %v, want -Shift(Δ) = %v", back, -fwd)
+	}
+}
+
+func TestShiftZeroOnInterleavedPlateau(t *testing.T) {
+	p := params(1.0 / 6) // aT = 0.3s, plateau [0.3, 1.5]
+	for _, d := range []sim.Time{400 * sim.Millisecond, 900 * sim.Millisecond, 1400 * sim.Millisecond} {
+		if got := p.Shift(d); got != 0 {
+			t.Errorf("Shift(%v) = %v, want 0 on plateau", d, got)
+		}
+	}
+}
+
+func TestLossShape(t *testing.T) {
+	// Figure 5(c): a = 1/2 -> loss decreases to a minimum at T/2, rises
+	// back to ~0 at T.
+	p := params(0.5)
+	l0 := p.Loss(0)
+	lq := p.Loss(p.Period / 4)
+	lh := p.Loss(p.Period / 2)
+	l3q := p.Loss(3 * p.Period / 4)
+	lT := p.Loss(p.Period)
+	if l0 != 0 {
+		t.Errorf("Loss(0) = %v, want 0", l0)
+	}
+	if !(lh < lq && lq < l0) {
+		t.Errorf("loss not decreasing to T/2: L(0)=%v L(T/4)=%v L(T/2)=%v", l0, lq, lh)
+	}
+	if !(lh < l3q && l3q < lT+1e-12) {
+		t.Errorf("loss not increasing after T/2: L(T/2)=%v L(3T/4)=%v L(T)=%v", lh, l3q, lT)
+	}
+	if math.Abs(lT) > 1e-6 {
+		t.Errorf("Loss(T) = %v, want ~0 by symmetry", lT)
+	}
+}
+
+func TestLossMinimumIsGlobal(t *testing.T) {
+	// §4: "the loss function obtained by MLTCP is guaranteed to have
+	// only global optima". Check the minimum set is exactly the
+	// interleaved plateau for a < 1/2.
+	p := params(1.0 / 6)
+	_, losses := p.LossCurve(180)
+	min := losses[0]
+	for _, l := range losses {
+		if l < min {
+			min = l
+		}
+	}
+	for i, l := range losses {
+		d := sim.FromSeconds(1.8 * float64(i) / 180)
+		onPlateau := p.Interleaved(d, sim.Millisecond)
+		atMin := math.Abs(l-min) < 1e-6 // Simpson noise is ~1e-8 on the plateau
+		if onPlateau != atMin {
+			t.Errorf("delta %v: interleaved=%v but at-minimum=%v (loss %v, min %v)", d, onPlateau, atMin, l, min)
+		}
+	}
+}
+
+// Property: the loss's numerical derivative equals the negative shift
+// (Equation 4 is the negative integral of Equation 3).
+func TestLossDerivativeIsNegativeShift(t *testing.T) {
+	p := params(0.4)
+	prop := func(frac8 uint8) bool {
+		frac := float64(frac8)/255*0.9 + 0.02 // within (0, 0.92)
+		d := sim.FromSeconds(p.Period.Seconds() * frac)
+		h := sim.Millisecond
+		dLoss := (p.Loss(d+h) - p.Loss(d-h)) / (2 * h.Seconds())
+		shift := p.Shift(d).Seconds()
+		return math.Abs(dLoss+shift) < 5e-3
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDescendConverges(t *testing.T) {
+	// §2: MLTCP converges within ~20 iterations in the testbed; the
+	// idealized gradient descent should interleave comparably fast.
+	p := params(1.0 / 6)
+	traj := p.Descend(20*sim.Millisecond, 60)
+	it := p.ConvergenceIteration(traj, sim.Millisecond)
+	if it < 0 {
+		t.Fatalf("never converged: final delta %v", traj[len(traj)-1])
+	}
+	if it > 40 {
+		t.Errorf("converged at iteration %d, want <= 40", it)
+	}
+	// Once interleaved, the configuration must be stable.
+	final := traj[len(traj)-1]
+	if !p.Interleaved(final, sim.Millisecond) {
+		t.Errorf("final delta %v not interleaved", final)
+	}
+}
+
+func TestDescendStationaryAtZero(t *testing.T) {
+	// Δ=0 is the unstable equilibrium: pure descent cannot leave it
+	// (in practice noise breaks the tie; see the fluid tests).
+	p := params(0.5)
+	traj := p.Descend(0, 10)
+	for _, d := range traj {
+		if d != 0 {
+			t.Fatalf("descent moved from the symmetric point: %v", d)
+		}
+	}
+}
+
+func TestDescendFromAboveShrinksBack(t *testing.T) {
+	// Starting with Δ just below T (overlap from behind), the shift is
+	// negative and the trajectory must fall back onto the plateau.
+	p := params(1.0 / 6)
+	start := p.Period - 100*sim.Millisecond
+	traj := p.Descend(start, 60)
+	final := traj[len(traj)-1]
+	if !p.Interleaved(final, sim.Millisecond) {
+		t.Errorf("final delta %v not interleaved (started at %v)", final, start)
+	}
+	if final >= start {
+		t.Errorf("delta should shrink from %v, got %v", start, final)
+	}
+}
+
+func TestNoiseErrorStd(t *testing.T) {
+	// 2σ(1 + I/S) with the paper's constants: 2σ(1 + 1/7).
+	got := NoiseErrorStd(70*sim.Millisecond, 1.75, 0.25)
+	want := sim.FromSeconds(2 * 0.070 * (1 + 0.25/1.75))
+	if got != want {
+		t.Errorf("NoiseErrorStd = %v, want %v", got, want)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	for name, p := range map[string]Params{
+		"zero-slope": {Slope: 0, Intercept: 1, Alpha: 0.5, Period: sim.Second},
+		"bad-alpha":  {Slope: 1, Intercept: 1, Alpha: 0, Period: sim.Second},
+		"bad-period": {Slope: 1, Intercept: 1, Alpha: 0.5, Period: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			p.Shift(0)
+		}()
+	}
+}
+
+// Property: the closed-form loss agrees with the Simpson-integrated loss
+// across the whole period and a range of shapes.
+func TestLossClosedFormMatchesNumeric(t *testing.T) {
+	prop := func(alpha8, frac8 uint8) bool {
+		alpha := 0.05 + float64(alpha8)/255*0.45 // (0.05, 0.5]
+		p := DefaultParams(alpha, 1800*sim.Millisecond)
+		d := sim.FromSeconds(p.Period.Seconds() * float64(frac8) / 255)
+		num := p.Loss(d)
+		closed := p.LossClosedForm(d)
+		return math.Abs(num-closed) < 1e-6+1e-4*math.Abs(closed)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLossClosedFormBoundaryValues(t *testing.T) {
+	p := params(0.5)
+	if got := p.LossClosedForm(0); got != 0 {
+		t.Errorf("closed Loss(0) = %v", got)
+	}
+	if got := p.LossClosedForm(p.Period); math.Abs(got) > 1e-9 {
+		t.Errorf("closed Loss(T) = %v, want 0 by symmetry", got)
+	}
+	// The plateau value equals the minimum of the sampled curve.
+	p2 := params(1.0 / 6)
+	plateau := p2.LossClosedForm(900 * sim.Millisecond)
+	_, losses := p2.LossCurve(90)
+	min := losses[0]
+	for _, l := range losses {
+		if l < min {
+			min = l
+		}
+	}
+	if math.Abs(plateau-min) > 1e-6 {
+		t.Errorf("plateau %v != sampled min %v", plateau, min)
+	}
+}

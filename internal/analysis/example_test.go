@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"mltcp/internal/analysis"
+	"mltcp/internal/sim"
+)
+
+// Two identical jobs with a 50% communication fraction: the gradient
+// descent of §4 walks the start-time difference from a small perturbation
+// to the fully interleaved T/2.
+func ExampleParams_Descend() {
+	p := analysis.DefaultParams(0.5, 1800*sim.Millisecond)
+	traj := p.Descend(20*sim.Millisecond, 40)
+	final := traj[len(traj)-1]
+	fmt.Printf("converged at iteration %d, final delta %.2fs (T/2 = %.2fs)\n",
+		p.ConvergenceIteration(traj, sim.Millisecond), final.Seconds(), p.Period.Seconds()/2)
+	// Output: converged at iteration 6, final delta 0.90s (T/2 = 0.90s)
+}
+
+// Equation 3 at a concrete operating point.
+func ExampleParams_Shift() {
+	p := analysis.DefaultParams(1.0/3, 1200*sim.Millisecond) // the GPT-3 shape
+	fmt.Printf("Shift(100ms) = %.1fms\n", p.Shift(100*sim.Millisecond).Seconds()*1000)
+	// Output: Shift(100ms) = 190.9ms
+}
+
+// The §4 noise bound with the paper's Slope and Intercept.
+func ExampleNoiseErrorStd() {
+	bound := analysis.NoiseErrorStd(50*sim.Millisecond, 1.75, 0.25)
+	fmt.Printf("%.1fms\n", bound.Seconds()*1000)
+	// Output: 114.3ms
+}

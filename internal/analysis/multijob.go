@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"mltcp/internal/sim"
+)
+
+// MultiParams extends the two-job analysis of §4 to N identical jobs, the
+// generalization §5 sketches: "The dimension of gradient descent space
+// increases with the number of jobs ... the loss becomes a function of the
+// overlap across all [pairs]; the relative shifts for each job, calculated
+// from the gradient of this function".
+type MultiParams struct {
+	// Params carries Slope/Intercept/Alpha/Period for every job.
+	Params
+	// N is the number of identical jobs (N·Alpha ≤ 1 for a fully
+	// interleaved schedule to exist).
+	N int
+}
+
+func (m MultiParams) validateN() {
+	m.validate()
+	if m.N < 2 {
+		panic(fmt.Sprintf("analysis: MultiParams needs N >= 2, got %d", m.N))
+	}
+}
+
+// TotalLoss is the sum of the pairwise Loss over all job pairs at the
+// given offsets — the N-job loss landscape whose gradient drives the
+// multi-job descent.
+func (m MultiParams) TotalLoss(offsets []sim.Time) float64 {
+	m.validateN()
+	if len(offsets) != m.N {
+		panic(fmt.Sprintf("analysis: %d offsets for N=%d", len(offsets), m.N))
+	}
+	var total float64
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			total += m.Loss(offsets[j] - offsets[i])
+		}
+	}
+	return total
+}
+
+// DescendMulti runs the multi-job gradient descent: every iteration, each
+// overlapping pair contributes its pairwise Shift, split between the two
+// jobs (the earlier job's next iteration advances, the later one's
+// recedes — together the gap widens by exactly Shift as in the two-job
+// analysis). It returns the trajectory of offset vectors, including the
+// start.
+func (m MultiParams) DescendMulti(offsets []sim.Time, iters int) [][]sim.Time {
+	m.validateN()
+	if len(offsets) != m.N {
+		panic(fmt.Sprintf("analysis: %d offsets for N=%d", len(offsets), m.N))
+	}
+	cur := append([]sim.Time(nil), offsets...)
+	traj := [][]sim.Time{append([]sim.Time(nil), cur...)}
+	for it := 0; it < iters; it++ {
+		delta := make([]sim.Time, m.N)
+		for i := 0; i < m.N; i++ {
+			for j := 0; j < m.N; j++ {
+				if i == j {
+					continue
+				}
+				// Gap from i to j, normalized into [0, T).
+				d := m.norm(cur[j] - cur[i])
+				if d > 0 && d < sim.FromSeconds(m.Alpha*m.Period.Seconds()) {
+					// j trails i inside the overlap window:
+					// the pair separates by Shift(d).
+					s := m.Shift(d)
+					delta[i] -= s / 2
+					delta[j] += s / 2
+				}
+			}
+		}
+		for i := range cur {
+			cur[i] += delta[i]
+		}
+		traj = append(traj, append([]sim.Time(nil), cur...))
+	}
+	return traj
+}
+
+func (m MultiParams) norm(d sim.Time) sim.Time {
+	T := m.Period
+	d %= T
+	if d < 0 {
+		d += T
+	}
+	return d
+}
+
+// InterleavedMulti reports whether every pair of offsets is disjoint
+// (within tol).
+func (m MultiParams) InterleavedMulti(offsets []sim.Time, tol sim.Time) bool {
+	m.validateN()
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			if !m.Interleaved(offsets[j]-offsets[i], tol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FeasibleMulti reports whether N identical jobs can interleave at all:
+// N·a ≤ 1.
+func (m MultiParams) FeasibleMulti() bool {
+	m.validateN()
+	return float64(m.N)*m.Alpha <= 1+1e-12
+}
+
+// ConvergenceIterationMulti returns the first trajectory index from which
+// every configuration is fully interleaved, or -1.
+func (m MultiParams) ConvergenceIterationMulti(traj [][]sim.Time, tol sim.Time) int {
+	for i := range traj {
+		ok := true
+		for _, offs := range traj[i:] {
+			if !m.InterleavedMulti(offs, tol) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// MinPairGap returns the smallest circular pairwise gap (in seconds) — a
+// measure of how much slack the converged schedule has against noise.
+func (m MultiParams) MinPairGap(offsets []sim.Time) float64 {
+	m.validateN()
+	best := math.Inf(1)
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if i == j {
+				continue
+			}
+			if d := m.norm(offsets[j] - offsets[i]).Seconds(); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}

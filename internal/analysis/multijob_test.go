@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mltcp/internal/sim"
+)
+
+func multi(n int, alpha float64) MultiParams {
+	return MultiParams{Params: DefaultParams(alpha, 1800*sim.Millisecond), N: n}
+}
+
+func jitter(n int) []sim.Time {
+	offs := make([]sim.Time, n)
+	for i := range offs {
+		offs[i] = sim.Time(i) * 15 * sim.Millisecond
+	}
+	return offs
+}
+
+func TestMultiThreeJobsConverge(t *testing.T) {
+	m := multi(3, 1.0/9)
+	traj := m.DescendMulti(jitter(3), 120)
+	it := m.ConvergenceIterationMulti(traj, sim.Millisecond)
+	if it < 0 {
+		t.Fatalf("3 jobs never interleaved; final offsets %v", traj[len(traj)-1])
+	}
+	if it > 80 {
+		t.Errorf("converged at %d, want well within the run", it)
+	}
+}
+
+func TestMultiFourJobsTightConverge(t *testing.T) {
+	// Four jobs at a = 0.2: aggregate duty 80%, tight but feasible.
+	m := multi(4, 0.2)
+	if !m.FeasibleMulti() {
+		t.Fatal("expected feasible")
+	}
+	traj := m.DescendMulti(jitter(4), 400)
+	final := traj[len(traj)-1]
+	if !m.InterleavedMulti(final, 2*sim.Millisecond) {
+		t.Errorf("not interleaved after 400 iterations: %v (min gap %.3fs)",
+			final, m.MinPairGap(final))
+	}
+}
+
+func TestMultiLossDecreasesAlongDescent(t *testing.T) {
+	// The defining property of gradient descent: the loss is
+	// non-increasing along the trajectory.
+	m := multi(3, 1.0/6)
+	traj := m.DescendMulti(jitter(3), 60)
+	prev := m.TotalLoss(traj[0])
+	for i, offs := range traj[1:] {
+		l := m.TotalLoss(offs)
+		if l > prev+1e-6 {
+			t.Fatalf("loss increased at step %d: %v -> %v", i+1, prev, l)
+		}
+		prev = l
+	}
+}
+
+func TestMultiInfeasibleNeverInterleaves(t *testing.T) {
+	// Three jobs at a = 0.4: aggregate duty 120% > 1, no interleaved
+	// schedule exists (the §4 compatibility assumption is violated).
+	m := multi(3, 0.4)
+	if m.FeasibleMulti() {
+		t.Fatal("expected infeasible")
+	}
+	traj := m.DescendMulti(jitter(3), 200)
+	if m.InterleavedMulti(traj[len(traj)-1], sim.Millisecond) {
+		t.Error("reported interleaved for an infeasible workload")
+	}
+}
+
+func TestMultiConvergedStateIsStationary(t *testing.T) {
+	m := multi(3, 1.0/9)
+	// A hand-built interleaved schedule: offsets 0, 600ms, 1200ms
+	// (gaps 600ms >> aT = 200ms).
+	offs := []sim.Time{0, 600 * sim.Millisecond, 1200 * sim.Millisecond}
+	traj := m.DescendMulti(offs, 10)
+	final := traj[len(traj)-1]
+	for i := range offs {
+		if final[i] != offs[i] {
+			t.Errorf("interleaved state moved: job %d %v -> %v", i, offs[i], final[i])
+		}
+	}
+	if got := m.TotalLoss(offs); got > -0.01 {
+		t.Errorf("interleaved loss %v should be deep in the minimum", got)
+	}
+}
+
+// Property: descent from random feasible jitters always lands interleaved
+// for 3 jobs at low duty, and the minimum pairwise gap ends at least aT.
+func TestMultiDescentProperty(t *testing.T) {
+	m := multi(3, 1.0/9)
+	aT := m.Alpha * m.Period.Seconds()
+	prop := func(a, b uint8) bool {
+		offs := []sim.Time{
+			0,
+			sim.Time(a%100) * sim.Millisecond,
+			sim.Time(b%100+1) * sim.Millisecond * 2,
+		}
+		traj := m.DescendMulti(offs, 300)
+		final := traj[len(traj)-1]
+		if !m.InterleavedMulti(final, 2*sim.Millisecond) {
+			// Symmetric starting points (exact ties) legitimately
+			// stall on the unstable maximum; only accept stalls
+			// when two offsets coincide exactly.
+			return offs[1] == offs[2] || offs[1] == 0 || offs[2] == 0
+		}
+		return m.MinPairGap(final) >= aT-0.003
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n-too-small":  func() { multi(1, 0.2).TotalLoss([]sim.Time{0}) },
+		"offset-count": func() { multi(3, 0.2).TotalLoss([]sim.Time{0}) },
+		"descend-count": func() {
+			multi(3, 0.2).DescendMulti([]sim.Time{0}, 5)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

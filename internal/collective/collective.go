@@ -1,0 +1,191 @@
+// Package collective implements the communication layer a distributed DNN
+// job actually runs: ring all-reduce over per-link TCP flows, as NCCL's
+// TCP (FAST socket) transport does on the paper's testbed. A W-worker ring
+// all-reduce of B bytes performs 2(W−1) chunk steps of B/W bytes per link
+// with a barrier between steps, so each flow moves 2(W−1)/W·B bytes per
+// training iteration — the per-flow TOTAL_BYTES that MLTCP's tracker needs.
+//
+// The package also provides the traffic-class selector of §5: the paper
+// modifies NCCL's FAST socket plugin "to support selecting a desired
+// congestion control algorithm", so different classes (training,
+// latency-sensitive, bulk legacy) can use different aggressiveness
+// functions.
+package collective
+
+import (
+	"fmt"
+
+	"mltcp/internal/netsim"
+	"mltcp/internal/sim"
+	"mltcp/internal/tcp"
+)
+
+// CCFactory builds a fresh congestion-control instance for one flow, given
+// the flow's per-iteration byte volume (MLTCP trackers are per-flow state).
+type CCFactory func(flowTotalBytes int64) tcp.CongestionControl
+
+// Ring is a W-worker ring all-reduce group. Worker i's gradients flow to
+// worker (i+1) mod W over a persistent TCP flow; an AllReduce runs 2(W−1)
+// barrier-separated chunk steps.
+type Ring struct {
+	eng   *sim.Engine
+	flows []*tcp.Flow
+	w     int
+
+	stepChunk   int64
+	stepsLeft   int
+	pendingAcks int
+	pipelined   bool
+	onComplete  func(now sim.Time)
+
+	// Steps counts completed chunk steps; AllReduces completed
+	// collectives (observability for tests and traces).
+	Steps      int
+	AllReduces int
+}
+
+// Pipelined switches AllReduce from strict per-step barriers to NCCL-style
+// pipelining: each link streams its whole per-iteration volume
+// continuously, and the collective completes when every link drains. Real
+// ring implementations pipeline many small chunks with only neighbor
+// dependencies, which a continuous stream models far better than a global
+// barrier every step; the barrier mode remains for studying stricter
+// synchronization.
+func (r *Ring) Pipelined(on bool) { r.pipelined = on }
+
+// NewRing wires a ring over the given worker hosts: flows[i] carries
+// worker i -> worker i+1 (mod W). bytesPerIter is the job's full gradient
+// volume B; each flow's CC is built by factory with the flow's own
+// per-iteration volume 2(W−1)/W·B. Flow IDs are allocated from baseFlow.
+func NewRing(eng *sim.Engine, workers []*netsim.Host, baseFlow netsim.FlowID,
+	bytesPerIter int64, factory CCFactory, cfg tcp.Config) *Ring {
+	w := len(workers)
+	if w < 2 {
+		panic("collective: ring needs at least 2 workers")
+	}
+	if bytesPerIter < int64(w) {
+		panic(fmt.Sprintf("collective: %d bytes cannot be chunked across %d workers", bytesPerIter, w))
+	}
+	r := &Ring{eng: eng, w: w, stepChunk: bytesPerIter / int64(w)}
+	perFlowTotal := r.stepChunk * int64(2*(w-1))
+	for i := 0; i < w; i++ {
+		src := workers[i]
+		dst := workers[(i+1)%w]
+		cc := factory(perFlowTotal)
+		f := tcp.NewFlow(eng, baseFlow+netsim.FlowID(i), src, dst, cc, cfg)
+		i := i
+		f.Sender.Drained(func(now sim.Time) { r.flowDrained(i, now) })
+		r.flows = append(r.flows, f)
+	}
+	return r
+}
+
+// Workers returns the ring size.
+func (r *Ring) Workers() int { return r.w }
+
+// Flows exposes the ring's flows (for attaching monitors).
+func (r *Ring) Flows() []*tcp.Flow { return r.flows }
+
+// PerFlowBytesPerIteration returns each link's volume per all-reduce,
+// 2(W−1)/W·B — the TOTAL_BYTES an MLTCP tracker on these flows should use.
+func (r *Ring) PerFlowBytesPerIteration() int64 {
+	return r.stepChunk * int64(2*(r.w-1))
+}
+
+// AllReduce starts one collective; done fires when the last step's last
+// chunk is acknowledged. A collective must not be started while another is
+// in flight.
+func (r *Ring) AllReduce(done func(now sim.Time)) {
+	if r.stepsLeft != 0 || r.pendingAcks != 0 {
+		panic("collective: AllReduce while another is in flight")
+	}
+	r.onComplete = done
+	if r.pipelined {
+		r.stepsLeft = 1
+		r.pendingAcks = r.w
+		for _, f := range r.flows {
+			f.Sender.Write(r.PerFlowBytesPerIteration())
+		}
+		return
+	}
+	r.stepsLeft = 2 * (r.w - 1)
+	r.startStep()
+}
+
+func (r *Ring) startStep() {
+	r.pendingAcks = r.w
+	for _, f := range r.flows {
+		f.Sender.Write(r.stepChunk)
+	}
+}
+
+func (r *Ring) flowDrained(_ int, now sim.Time) {
+	r.pendingAcks--
+	if r.pendingAcks > 0 {
+		return
+	}
+	// Barrier reached: step complete.
+	r.Steps++
+	r.stepsLeft--
+	if r.stepsLeft > 0 {
+		r.startStep()
+		return
+	}
+	r.AllReduces++
+	if r.onComplete != nil {
+		r.onComplete(now)
+	}
+}
+
+// Job drives a training loop over a ring: all-reduce, compute, repeat.
+type Job struct {
+	Ring    *Ring
+	Compute sim.Time
+	// NoiseStd adds zero-mean Gaussian noise to each compute phase.
+	NoiseStd sim.Time
+	// MaxIterations stops the loop (0 = run until the horizon).
+	MaxIterations int
+
+	rng *sim.RNG
+
+	// IterStarts and IterDurations record the training loop;
+	// IterDurations[i] spans consecutive all-reduce starts.
+	IterStarts    []sim.Time
+	IterDurations []sim.Time
+}
+
+// Start launches the job's first iteration at the given offset.
+func (j *Job) Start(eng *sim.Engine, offset sim.Time, seed uint64) {
+	j.rng = sim.NewRNG(seed)
+	eng.At(offset, func(e *sim.Engine) { j.iterate(e) })
+}
+
+func (j *Job) iterate(eng *sim.Engine) {
+	now := eng.Now()
+	if n := len(j.IterStarts); n > 0 {
+		j.IterDurations = append(j.IterDurations, now-j.IterStarts[n-1])
+	}
+	j.IterStarts = append(j.IterStarts, now)
+	if j.MaxIterations > 0 && len(j.IterStarts) > j.MaxIterations {
+		return
+	}
+	j.Ring.AllReduce(func(done sim.Time) {
+		compute := j.Compute
+		if j.NoiseStd > 0 {
+			compute = j.rng.NormDuration(compute, j.NoiseStd, 0)
+		}
+		eng.After(compute, func(e *sim.Engine) { j.iterate(e) })
+	})
+}
+
+// AvgIterTime averages iteration durations after skipping the first skip.
+func (j *Job) AvgIterTime(skip int) sim.Time {
+	if skip >= len(j.IterDurations) {
+		return 0
+	}
+	var sum sim.Time
+	for _, d := range j.IterDurations[skip:] {
+		sum += d
+	}
+	return sum / sim.Time(len(j.IterDurations)-skip)
+}

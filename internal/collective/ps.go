@@ -1,0 +1,146 @@
+package collective
+
+import (
+	"fmt"
+
+	"mltcp/internal/netsim"
+	"mltcp/internal/sim"
+	"mltcp/internal/tcp"
+)
+
+// ParameterServer is the other classic DNN communication pattern (§3.1's
+// "regardless of ... parallelization strategy"): every worker pushes its
+// gradients to a central server (an incast onto the server's side of the
+// network), the server applies the update, and the workers pull the fresh
+// parameters back. One training iteration is push-all → pull-all.
+type ParameterServer struct {
+	eng   *sim.Engine
+	push  []*tcp.Flow // worker -> server
+	pull  []*tcp.Flow // server -> worker
+	bytes int64       // per-worker volume per direction per iteration
+
+	// ApplyTime models the server-side update between push and pull.
+	ApplyTime sim.Time
+
+	phase      int // 0 idle, 1 pushing, 2 pulling
+	pending    int
+	onComplete func(now sim.Time)
+
+	// Iterations counts completed push+pull rounds.
+	Iterations int
+}
+
+// NewParameterServer wires W workers to one server host. Each worker
+// pushes bytesPerWorker per iteration and pulls the same volume back.
+// Flow IDs are allocated from baseFlow (2W of them).
+func NewParameterServer(eng *sim.Engine, workers []*netsim.Host, server *netsim.Host,
+	baseFlow netsim.FlowID, bytesPerWorker int64, factory CCFactory, cfg tcp.Config) *ParameterServer {
+	if len(workers) < 1 {
+		panic("collective: parameter server needs at least one worker")
+	}
+	if bytesPerWorker <= 0 {
+		panic(fmt.Sprintf("collective: bytes per worker must be positive, got %d", bytesPerWorker))
+	}
+	ps := &ParameterServer{eng: eng, bytes: bytesPerWorker}
+	for i, w := range workers {
+		pushCC := factory(bytesPerWorker)
+		pullCC := factory(bytesPerWorker)
+		pushF := tcp.NewFlow(eng, baseFlow+netsim.FlowID(2*i), w, server, pushCC, cfg)
+		pullF := tcp.NewFlow(eng, baseFlow+netsim.FlowID(2*i+1), server, w, pullCC, cfg)
+		pushF.Sender.Drained(func(now sim.Time) { ps.flowDrained(now) })
+		pullF.Sender.Drained(func(now sim.Time) { ps.flowDrained(now) })
+		ps.push = append(ps.push, pushF)
+		ps.pull = append(ps.pull, pullF)
+	}
+	return ps
+}
+
+// Workers returns the worker count.
+func (ps *ParameterServer) Workers() int { return len(ps.push) }
+
+// PushFlows and PullFlows expose the flows for monitors.
+func (ps *ParameterServer) PushFlows() []*tcp.Flow { return ps.push }
+func (ps *ParameterServer) PullFlows() []*tcp.Flow { return ps.pull }
+
+// Exchange runs one iteration's communication: all pushes, the server
+// apply gap, then all pulls; done fires when the last pull drains.
+func (ps *ParameterServer) Exchange(done func(now sim.Time)) {
+	if ps.phase != 0 {
+		panic("collective: Exchange while one is in flight")
+	}
+	ps.onComplete = done
+	ps.phase = 1
+	ps.pending = len(ps.push)
+	for _, f := range ps.push {
+		f.Sender.Write(ps.bytes)
+	}
+}
+
+func (ps *ParameterServer) flowDrained(now sim.Time) {
+	ps.pending--
+	if ps.pending > 0 {
+		return
+	}
+	switch ps.phase {
+	case 1:
+		// Push complete: apply, then pull.
+		ps.phase = 2
+		ps.pending = len(ps.pull)
+		ps.eng.After(ps.ApplyTime, func(*sim.Engine) {
+			for _, f := range ps.pull {
+				f.Sender.Write(ps.bytes)
+			}
+		})
+	case 2:
+		ps.phase = 0
+		ps.Iterations++
+		if ps.onComplete != nil {
+			ps.onComplete(now)
+		}
+	}
+}
+
+// PSJob drives a training loop over a parameter server.
+type PSJob struct {
+	PS       *ParameterServer
+	Compute  sim.Time
+	NoiseStd sim.Time
+
+	rng *sim.RNG
+
+	IterStarts    []sim.Time
+	IterDurations []sim.Time
+}
+
+// Start launches the loop at the given offset.
+func (j *PSJob) Start(eng *sim.Engine, offset sim.Time, seed uint64) {
+	j.rng = sim.NewRNG(seed)
+	eng.At(offset, func(e *sim.Engine) { j.iterate(e) })
+}
+
+func (j *PSJob) iterate(eng *sim.Engine) {
+	now := eng.Now()
+	if n := len(j.IterStarts); n > 0 {
+		j.IterDurations = append(j.IterDurations, now-j.IterStarts[n-1])
+	}
+	j.IterStarts = append(j.IterStarts, now)
+	j.PS.Exchange(func(done sim.Time) {
+		compute := j.Compute
+		if j.NoiseStd > 0 {
+			compute = j.rng.NormDuration(compute, j.NoiseStd, 0)
+		}
+		eng.After(compute, func(e *sim.Engine) { j.iterate(e) })
+	})
+}
+
+// AvgIterTime averages iteration durations after skipping the first skip.
+func (j *PSJob) AvgIterTime(skip int) sim.Time {
+	if skip >= len(j.IterDurations) {
+		return 0
+	}
+	var sum sim.Time
+	for _, d := range j.IterDurations[skip:] {
+		sum += d
+	}
+	return sum / sim.Time(len(j.IterDurations)-skip)
+}

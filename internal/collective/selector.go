@@ -1,0 +1,96 @@
+package collective
+
+import (
+	"fmt"
+	"sort"
+
+	"mltcp/internal/core"
+	"mltcp/internal/sim"
+	"mltcp/internal/tcp"
+)
+
+// Class labels a traffic category, as the paper's modified NCCL FAST
+// socket plugin distinguishes them: DNN training flows, latency-sensitive
+// legacy traffic, bulk background traffic.
+type Class string
+
+// Conventional classes.
+const (
+	ClassTraining Class = "training"
+	ClassLatency  Class = "latency"
+	ClassBulk     Class = "bulk"
+)
+
+// Selector maps traffic classes to congestion-control factories, so each
+// class can run a different algorithm or aggressiveness function (§5: "This
+// allows for choosing different aggressiveness functions for different
+// classes of traffic").
+type Selector struct {
+	factories map[Class]CCFactory
+}
+
+// NewSelector returns an empty selector.
+func NewSelector() *Selector {
+	return &Selector{factories: make(map[Class]CCFactory)}
+}
+
+// Register installs the factory for a class, replacing any previous one.
+func (s *Selector) Register(c Class, f CCFactory) {
+	if f == nil {
+		panic("collective: nil factory")
+	}
+	s.factories[c] = f
+}
+
+// New builds a congestion control for the class. Unknown classes panic:
+// misclassified traffic silently falling back to a default is exactly the
+// failure mode the plugin exists to prevent.
+func (s *Selector) New(c Class, flowTotalBytes int64) tcp.CongestionControl {
+	f, ok := s.factories[c]
+	if !ok {
+		panic(fmt.Sprintf("collective: no congestion control registered for class %q (have %v)", c, s.Classes()))
+	}
+	return f(flowTotalBytes)
+}
+
+// Factory returns the class's factory for passing into NewRing.
+func (s *Selector) Factory(c Class) CCFactory {
+	f, ok := s.factories[c]
+	if !ok {
+		panic(fmt.Sprintf("collective: no congestion control registered for class %q", c))
+	}
+	return f
+}
+
+// Classes returns the registered classes, sorted.
+func (s *Selector) Classes() []Class {
+	out := make([]Class, 0, len(s.factories))
+	for c := range s.factories {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DefaultSelector returns the paper's recommended configuration: training
+// flows run MLTCP-Reno with the default F; latency-sensitive traffic runs
+// MLTCP with "a bandwidth aggressiveness function with larger values" (§5)
+// so it acquires most of the bandwidth; bulk legacy traffic runs plain
+// Reno. compTime is the iteration-gap threshold for the training trackers.
+func DefaultSelector(compTime sim.Time) *Selector {
+	s := NewSelector()
+	s.Register(ClassTraining, func(total int64) tcp.CongestionControl {
+		return core.Wrap(tcp.NewReno(), core.Default(), core.NewTracker(total, compTime))
+	})
+	s.Register(ClassLatency, func(total int64) tcp.CongestionControl {
+		// Constant high aggressiveness: F ≈ 4 regardless of progress.
+		if total <= 0 {
+			total = 1
+		}
+		return core.Wrap(tcp.NewReno(), core.Linear(0, 4), core.NewTracker(total, compTime))
+	})
+	s.Register(ClassBulk, func(int64) tcp.CongestionControl {
+		return tcp.NewReno()
+	})
+	return s
+}

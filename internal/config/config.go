@@ -1,0 +1,196 @@
+// Package config loads experiment scenarios from JSON, so cluster
+// configurations can be versioned and replayed with cmd/mltcpsim -config
+// instead of being encoded in flags.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mltcp/internal/core"
+	"mltcp/internal/fluid"
+	"mltcp/internal/sim"
+	"mltcp/internal/units"
+	"mltcp/internal/workload"
+)
+
+// Scenario is one complete experiment description.
+type Scenario struct {
+	// Name labels the scenario in output.
+	Name string `json:"name"`
+	// CapacityGbps is the bottleneck rate (default 50).
+	CapacityGbps float64 `json:"capacity_gbps"`
+	// Policy is the scheduling scheme: mltcp, reno, srpt, pdq, las,
+	// pias (default mltcp).
+	Policy string `json:"policy"`
+	// DurationSec is the simulated horizon (default 120).
+	DurationSec float64 `json:"duration_sec"`
+	// SlopeIntercept optionally overrides Equation 2's parameters for
+	// mltcp policies ([slope, intercept]).
+	SlopeIntercept []float64 `json:"slope_intercept,omitempty"`
+	// Jobs lists the workload.
+	Jobs []Job `json:"jobs"`
+}
+
+// Job describes one job (or a replicated group).
+type Job struct {
+	// Name labels the job; replicas get -1, -2... suffixes.
+	Name string `json:"name"`
+	// Profile names a built-in profile (gpt3, gpt2, ...). Leave empty
+	// to use ComputeMS/CommMB.
+	Profile string `json:"profile,omitempty"`
+	// ComputeMS and CommMB define a custom profile.
+	ComputeMS float64 `json:"compute_ms,omitempty"`
+	CommMB    float64 `json:"comm_mb,omitempty"`
+	// OffsetMS delays the first communication phase.
+	OffsetMS float64 `json:"offset_ms,omitempty"`
+	// NoiseMS is the compute-time noise std.
+	NoiseMS float64 `json:"noise_ms,omitempty"`
+	// Count replicates the job (default 1); replicas are staggered by
+	// 10ms each beyond OffsetMS.
+	Count int `json:"count,omitempty"`
+	// Seed drives the job's noise stream (replicas add their index).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Load parses and validates a scenario.
+func Load(r io.Reader) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("config: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return Scenario{}, err
+	}
+	s.applyDefaults()
+	return s, nil
+}
+
+func (s *Scenario) applyDefaults() {
+	if s.CapacityGbps == 0 {
+		s.CapacityGbps = 50
+	}
+	if s.Policy == "" {
+		s.Policy = "mltcp"
+	}
+	if s.DurationSec == 0 {
+		s.DurationSec = 120
+	}
+}
+
+func (s *Scenario) validate() error {
+	if len(s.Jobs) == 0 {
+		return fmt.Errorf("config: scenario %q has no jobs", s.Name)
+	}
+	if s.CapacityGbps < 0 || s.DurationSec < 0 {
+		return fmt.Errorf("config: negative capacity or duration")
+	}
+	switch s.Policy {
+	case "", "mltcp", "reno", "srpt", "pdq", "las", "pias":
+	default:
+		return fmt.Errorf("config: unknown policy %q", s.Policy)
+	}
+	if s.SlopeIntercept != nil && len(s.SlopeIntercept) != 2 {
+		return fmt.Errorf("config: slope_intercept needs exactly [slope, intercept]")
+	}
+	known := workload.Profiles()
+	for i, j := range s.Jobs {
+		custom := j.ComputeMS > 0 || j.CommMB > 0
+		if j.Profile == "" && !custom {
+			return fmt.Errorf("config: job %d needs a profile or compute_ms+comm_mb", i)
+		}
+		if j.Profile != "" {
+			if custom {
+				return fmt.Errorf("config: job %d sets both profile and custom fields", i)
+			}
+			if _, ok := known[j.Profile]; !ok {
+				return fmt.Errorf("config: job %d: unknown profile %q", i, j.Profile)
+			}
+		} else if j.ComputeMS < 0 || j.CommMB <= 0 {
+			return fmt.Errorf("config: job %d: custom profile needs compute_ms >= 0 and comm_mb > 0", i)
+		}
+		if j.Count < 0 {
+			return fmt.Errorf("config: job %d: negative count", i)
+		}
+	}
+	return nil
+}
+
+// Capacity returns the bottleneck rate.
+func (s Scenario) Capacity() units.Rate { return units.Rate(s.CapacityGbps) * units.Gbps }
+
+// Duration returns the simulated horizon.
+func (s Scenario) Duration() sim.Time { return sim.FromSeconds(s.DurationSec) }
+
+// Agg returns the aggressiveness function for mltcp policies (nil for
+// others).
+func (s Scenario) Agg() *core.AggFunc {
+	if s.Policy != "mltcp" {
+		return nil
+	}
+	f := core.Default()
+	if s.SlopeIntercept != nil {
+		f = core.Linear(s.SlopeIntercept[0], s.SlopeIntercept[1])
+	}
+	return &f
+}
+
+// FluidPolicy returns the fluid sharing policy for the scenario.
+func (s Scenario) FluidPolicy() fluid.Policy {
+	switch s.Policy {
+	case "srpt":
+		return fluid.SRPT{Label: "pfabric"}
+	case "pdq":
+		return fluid.SRPT{Label: "pdq"}
+	case "las":
+		return fluid.LAS{}
+	case "pias":
+		return fluid.PIAS{Thresholds: []int64{int64(100 * units.MB), int64(1000 * units.MB)}}
+	default: // mltcp and reno both share by CC weight
+		return fluid.WeightedShare{}
+	}
+}
+
+// BuildJobs expands the scenario into fluid jobs.
+func (s Scenario) BuildJobs() []*fluid.Job {
+	agg := s.Agg()
+	known := workload.Profiles()
+	var jobs []*fluid.Job
+	for ji, j := range s.Jobs {
+		count := j.Count
+		if count == 0 {
+			count = 1
+		}
+		prof, ok := known[j.Profile]
+		if !ok {
+			prof = workload.Profile{
+				Name:        j.Name,
+				ComputeTime: sim.FromSeconds(j.ComputeMS / 1000),
+				CommBytes:   units.ByteCount(j.CommMB * 1e6),
+			}
+		}
+		for c := 0; c < count; c++ {
+			name := j.Name
+			if name == "" {
+				name = prof.Name
+			}
+			if count > 1 {
+				name = fmt.Sprintf("%s-%d", name, c+1)
+			}
+			jobs = append(jobs, &fluid.Job{
+				Spec: workload.Spec{
+					Name:        name,
+					Profile:     prof,
+					StartOffset: sim.FromSeconds(j.OffsetMS/1000) + sim.Time(len(jobs))*10*sim.Millisecond,
+					NoiseStd:    sim.FromSeconds(j.NoiseMS / 1000),
+					Seed:        j.Seed + uint64(ji*100+c),
+				},
+				Agg: agg,
+			})
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,154 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"mltcp/internal/fluid"
+	"mltcp/internal/sim"
+	"mltcp/internal/units"
+)
+
+const fourJobScenario = `{
+  "name": "fig2",
+  "policy": "mltcp",
+  "jobs": [
+    {"name": "J1", "profile": "gpt3"},
+    {"name": "J", "profile": "gpt2", "count": 3}
+  ]
+}`
+
+func TestLoadDefaults(t *testing.T) {
+	s, err := Load(strings.NewReader(fourJobScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CapacityGbps != 50 || s.DurationSec != 120 || s.Policy != "mltcp" {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+	if s.Capacity() != 50*units.Gbps {
+		t.Errorf("Capacity() = %v", s.Capacity())
+	}
+	if s.Duration() != 120*sim.Second {
+		t.Errorf("Duration() = %v", s.Duration())
+	}
+}
+
+func TestBuildJobsExpansion(t *testing.T) {
+	s, err := Load(strings.NewReader(fourJobScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := s.BuildJobs()
+	if len(jobs) != 4 {
+		t.Fatalf("built %d jobs, want 4", len(jobs))
+	}
+	if jobs[0].Spec.Name != "J1" || jobs[1].Spec.Name != "J-1" || jobs[3].Spec.Name != "J-3" {
+		t.Errorf("names: %s %s %s %s", jobs[0].Spec.Name, jobs[1].Spec.Name, jobs[2].Spec.Name, jobs[3].Spec.Name)
+	}
+	// MLTCP policy: every job carries the aggressiveness function.
+	for _, j := range jobs {
+		if j.Agg == nil {
+			t.Errorf("job %s has no aggressiveness function under mltcp policy", j.Spec.Name)
+		}
+	}
+	// Replicas are staggered.
+	if jobs[1].Spec.StartOffset == jobs[2].Spec.StartOffset {
+		t.Error("replicas share a start offset; symmetry would stall convergence")
+	}
+}
+
+func TestCustomProfile(t *testing.T) {
+	s, err := Load(strings.NewReader(`{
+	  "jobs": [{"name": "X", "compute_ms": 900, "comm_mb": 5625}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := s.BuildJobs()
+	p := jobs[0].Spec.Profile
+	if p.ComputeTime != 900*sim.Millisecond {
+		t.Errorf("compute = %v", p.ComputeTime)
+	}
+	if p.CommBytes != units.ByteCount(5625*1e6) {
+		t.Errorf("bytes = %v", p.CommBytes)
+	}
+}
+
+func TestSlopeInterceptOverride(t *testing.T) {
+	s, err := Load(strings.NewReader(`{
+	  "policy": "mltcp",
+	  "slope_intercept": [3.0, 0.5],
+	  "jobs": [{"profile": "gpt2"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := s.Agg()
+	if agg == nil {
+		t.Fatal("nil agg")
+	}
+	if got := agg.Eval(1); got != 3.5 {
+		t.Errorf("F(1) = %v, want 3.5", got)
+	}
+}
+
+func TestFluidPolicyMapping(t *testing.T) {
+	cases := map[string]string{
+		"mltcp": "weighted-share",
+		"reno":  "weighted-share",
+		"srpt":  "pfabric",
+		"pdq":   "pdq",
+		"las":   "las",
+		"pias":  "pias",
+	}
+	for policy, want := range cases {
+		s, err := Load(strings.NewReader(`{"policy": "` + policy + `", "jobs": [{"profile": "gpt2"}]}`))
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if got := s.FluidPolicy().Name(); got != want {
+			t.Errorf("%s -> %s, want %s", policy, got, want)
+		}
+		if policy != "mltcp" && s.Agg() != nil {
+			t.Errorf("%s: non-mltcp policy has an aggressiveness function", policy)
+		}
+	}
+}
+
+func TestLoadRejects(t *testing.T) {
+	cases := map[string]string{
+		"no-jobs":         `{"name": "x"}`,
+		"unknown-policy":  `{"policy": "bogus", "jobs": [{"profile": "gpt2"}]}`,
+		"unknown-profile": `{"jobs": [{"profile": "gpt9"}]}`,
+		"both-kinds":      `{"jobs": [{"profile": "gpt2", "comm_mb": 5}]}`,
+		"no-kind":         `{"jobs": [{"name": "x"}]}`,
+		"bad-si":          `{"slope_intercept": [1], "jobs": [{"profile": "gpt2"}]}`,
+		"unknown-field":   `{"bogus": 1, "jobs": [{"profile": "gpt2"}]}`,
+		"bad-custom":      `{"jobs": [{"comm_mb": -1, "compute_ms": 10}]}`,
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted invalid scenario", name)
+		}
+	}
+}
+
+func TestScenarioEndToEnd(t *testing.T) {
+	// A loaded scenario must actually run and reproduce the Fig. 2c
+	// outcome.
+	s, err := Load(strings.NewReader(fourJobScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := s.BuildJobs()
+	f := fluid.New(fluid.Config{Capacity: s.Capacity(), Policy: s.FluidPolicy()}, jobs)
+	f.Run(s.Duration())
+	for _, j := range jobs {
+		ideal := j.Spec.Profile.IdealIterTime(s.Capacity())
+		avg := j.AvgIterTime(30)
+		if diff := avg.Seconds()/ideal.Seconds() - 1; diff > 0.05 || diff < -0.05 {
+			t.Errorf("%s: %v vs ideal %v", j.Spec.Name, avg, ideal)
+		}
+	}
+}

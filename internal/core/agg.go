@@ -1,0 +1,86 @@
+// Package core implements MLTCP, the paper's primary contribution: a
+// technique that augments a congestion-control algorithm so its window
+// increase is scaled by a bandwidth aggressiveness function
+// F(bytes_ratio), where bytes_ratio is the fraction of the current training
+// iteration's bytes already delivered (Algorithm 1 in the paper). Flows
+// closer to finishing their iteration become more aggressive, which shifts
+// subsequent iterations' start times and slides competing DNN jobs into an
+// interleaved schedule without a centralized scheduler.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// AggFunc is a bandwidth aggressiveness function: it maps
+// bytes_ratio ∈ [0,1] to a scaling factor applied to the congestion-window
+// increment. Section 3.1 requires (i) a range wide enough to absorb noise,
+// (ii) a non-negative derivative, and (iii) all flows using the same
+// function; requirement (ii) is what separates the paper's working
+// functions F1–F4 from the failing F5–F6.
+type AggFunc struct {
+	// Name labels the function in traces and figure legends.
+	Name string
+	// Eval computes F(bytes_ratio). Callers clamp the argument to [0,1].
+	Eval func(r float64) float64
+}
+
+// Linear returns the paper's chosen form (Equation 2):
+// F(r) = Slope·r + Intercept. The paper uses Slope=1.75, Intercept=0.25,
+// giving the range [0.25, 2].
+func Linear(slope, intercept float64) AggFunc {
+	return AggFunc{
+		Name: fmt.Sprintf("linear(%.3g,%.3g)", slope, intercept),
+		Eval: func(r float64) float64 { return slope*r + intercept },
+	}
+}
+
+// Paper defaults for Equation 2.
+const (
+	DefaultSlope     = 1.75
+	DefaultIntercept = 0.25
+)
+
+// Default returns the paper's F1: 1.75·r + 0.25.
+func Default() AggFunc { return Linear(DefaultSlope, DefaultIntercept) }
+
+// PaperFunctions returns the six functions compared in Figure 3, in order.
+// All share the range [0.25, 2]; F1–F4 are nondecreasing (and converge),
+// F5–F6 are decreasing (and do not).
+func PaperFunctions() []AggFunc {
+	return []AggFunc{
+		{Name: "F1", Eval: func(r float64) float64 { return 1.75*r + 0.25 }},
+		{Name: "F2", Eval: func(r float64) float64 { return 1.75*r*r + 0.25 }},
+		{Name: "F3", Eval: func(r float64) float64 { return 1 / (-3.5*r + 4) }},
+		{Name: "F4", Eval: func(r float64) float64 { return -1.75*r*r + 3.5*r + 0.25 }},
+		{Name: "F5", Eval: func(r float64) float64 { return -1.75*r + 2 }},
+		{Name: "F6", Eval: func(r float64) float64 { return -1.75*math.Pow(r, 4) + 2 }},
+	}
+}
+
+// IsNondecreasing numerically checks requirement (ii) of §3.1 on [0,1].
+func (f AggFunc) IsNondecreasing() bool {
+	const steps = 1000
+	prev := f.Eval(0)
+	for i := 1; i <= steps; i++ {
+		v := f.Eval(float64(i) / steps)
+		if v < prev-1e-12 {
+			return false
+		}
+		prev = v
+	}
+	return true
+}
+
+// Range numerically computes [min, max] of f on [0,1].
+func (f AggFunc) Range() (lo, hi float64) {
+	const steps = 1000
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i <= steps; i++ {
+		v := f.Eval(float64(i) / steps)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearDefaults(t *testing.T) {
+	f := Default()
+	if got := f.Eval(0); got != 0.25 {
+		t.Errorf("F(0) = %v, want 0.25", got)
+	}
+	if got := f.Eval(1); got != 2.0 {
+		t.Errorf("F(1) = %v, want 2", got)
+	}
+	if got := f.Eval(0.5); !near(got, 1.125) {
+		t.Errorf("F(0.5) = %v, want 1.125", got)
+	}
+}
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPaperFunctionsShareRange(t *testing.T) {
+	// §3.1: "All these functions have the same range (0.25 - 2)".
+	for _, f := range PaperFunctions() {
+		lo, hi := f.Range()
+		if !near(lo, 0.25) || !near(hi, 2.0) {
+			t.Errorf("%s: range [%v, %v], want [0.25, 2]", f.Name, lo, hi)
+		}
+	}
+}
+
+func TestPaperFunctionsMonotonicity(t *testing.T) {
+	// F1..F4 increasing, F5, F6 decreasing.
+	want := map[string]bool{
+		"F1": true, "F2": true, "F3": true, "F4": true,
+		"F5": false, "F6": false,
+	}
+	for _, f := range PaperFunctions() {
+		if got := f.IsNondecreasing(); got != want[f.Name] {
+			t.Errorf("%s.IsNondecreasing() = %v, want %v", f.Name, got, want[f.Name])
+		}
+	}
+}
+
+func TestPaperFunctionValues(t *testing.T) {
+	fs := PaperFunctions()
+	// Spot-check the formulas at r = 0.5.
+	cases := map[string]float64{
+		"F1": 1.75*0.5 + 0.25,
+		"F2": 1.75*0.25 + 0.25,
+		"F3": 1 / (-3.5*0.5 + 4),
+		"F4": -1.75*0.25 + 3.5*0.5 + 0.25,
+		"F5": -1.75*0.5 + 2,
+		"F6": -1.75*math.Pow(0.5, 4) + 2,
+	}
+	for _, f := range fs {
+		if got := f.Eval(0.5); !near(got, cases[f.Name]) {
+			t.Errorf("%s(0.5) = %v, want %v", f.Name, got, cases[f.Name])
+		}
+	}
+}
+
+// Property: any Linear with positive slope is nondecreasing and has range
+// [intercept, slope+intercept].
+func TestLinearProperty(t *testing.T) {
+	prop := func(s8, i8 uint8) bool {
+		slope := float64(s8)/64 + 0.01
+		intercept := float64(i8) / 128
+		f := Linear(slope, intercept)
+		if !f.IsNondecreasing() {
+			return false
+		}
+		lo, hi := f.Range()
+		return near(lo, intercept) && near(hi, slope+intercept)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

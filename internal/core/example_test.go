@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"fmt"
+
+	"mltcp/internal/core"
+	"mltcp/internal/sim"
+	"mltcp/internal/tcp"
+)
+
+// Build MLTCP-Reno for a job that sends 1 GB per training iteration with
+// compute gaps detectable at a 100ms ACK-silence threshold.
+func ExampleWrap() {
+	cc := core.Wrap(tcp.NewReno(), core.Default(),
+		core.NewTracker(1_000_000_000, 100*sim.Millisecond))
+	fmt.Println(cc.Name())
+	// Output: mltcp-reno
+}
+
+// Equation 2 with the paper's constants spans [0.25, 2]: a flow that has
+// sent nothing grows at a quarter of Reno's pace; a flow about to finish
+// its iteration grows at double.
+func ExampleLinear() {
+	f := core.Linear(core.DefaultSlope, core.DefaultIntercept)
+	fmt.Printf("F(0)=%.2f F(0.5)=%.3f F(1)=%.2f nondecreasing=%v\n",
+		f.Eval(0), f.Eval(0.5), f.Eval(1), f.IsNondecreasing())
+	// Output: F(0)=0.25 F(0.5)=1.125 F(1)=2.00 nondecreasing=true
+}
+
+// The tracker follows Algorithm 1: bytes accumulate into bytes_ratio and a
+// long ACK gap resets state for the next iteration.
+func ExampleTracker() {
+	tr := core.NewTracker(1000, 100*sim.Millisecond)
+	fmt.Printf("%.2f\n", tr.OnAck(1*sim.Millisecond, 250))
+	fmt.Printf("%.2f\n", tr.OnAck(2*sim.Millisecond, 500))
+	// A gap longer than COMP_TIME: new iteration, ratio resets.
+	fmt.Printf("%.2f\n", tr.OnAck(500*sim.Millisecond, 100))
+	// Output:
+	// 0.25
+	// 0.75
+	// 0.00
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sort"
+
+	"mltcp/internal/sim"
+)
+
+// Learner infers TOTAL_BYTES and COMP_TIME from the flow's own ACK stream,
+// as the paper's implementation does: "we automatically learn these values
+// by measuring the total amount of data and computation time during the
+// first few iterations. We measure the computation time by detecting gaps
+// in the ack arrivals that exceed several round-trip times."
+//
+// While learning, the flow behaves like its unmodified base algorithm
+// (aggressiveness 1). Once Observations complete iterations have been seen,
+// the learner builds a Tracker with the median per-iteration byte count and
+// a COMP_TIME threshold of half the smallest observed gap — below every
+// real compute phase, above in-iteration stalls.
+type Learner struct {
+	// GapThreshold is the ACK gap treated as an iteration boundary
+	// during learning ("several RTTs"). It must exceed any in-iteration
+	// stall (retransmission timeouts included) and be below the real
+	// compute time.
+	GapThreshold sim.Time
+	// Observations is how many complete iterations to observe before
+	// locking in parameters (default 2).
+	Observations int
+
+	prevAck   sim.Time
+	sawAck    bool
+	iterBytes int64
+
+	byteSamples []int64
+	gapSamples  []sim.Time
+
+	tracker *Tracker
+}
+
+// DefaultLearnGap is the default boundary threshold during learning. The
+// simulated DNN compute phases are hundreds of milliseconds; RTTs and RTOs
+// are a few tens of milliseconds at most.
+const DefaultLearnGap = 50 * sim.Millisecond
+
+// NewLearner returns a learner with the given gap threshold (0 uses
+// DefaultLearnGap) observing the given number of iterations (0 uses 2).
+func NewLearner(gap sim.Time, observations int) *Learner {
+	if gap <= 0 {
+		gap = DefaultLearnGap
+	}
+	if observations <= 0 {
+		observations = 2
+	}
+	return &Learner{GapThreshold: gap, Observations: observations}
+}
+
+// Learned reports whether parameters have been locked in.
+func (l *Learner) Learned() bool { return l.tracker != nil }
+
+// Tracker returns the learned tracker, or nil before learning completes.
+func (l *Learner) Tracker() *Tracker { return l.tracker }
+
+// OnAck feeds one ACK into the learner. Once learning completes the call is
+// forwarded to the learned tracker, so MLTCP can call OnAck unconditionally
+// and use the returned ratio (1.0 means "not learned yet, behave like the
+// base algorithm").
+func (l *Learner) OnAck(now sim.Time, ackedBytes int64) float64 {
+	if l.tracker != nil {
+		return l.tracker.OnAck(now, ackedBytes)
+	}
+	if l.sawAck && now-l.prevAck > l.GapThreshold {
+		// Iteration boundary observed.
+		if l.iterBytes > 0 {
+			l.byteSamples = append(l.byteSamples, l.iterBytes)
+			l.gapSamples = append(l.gapSamples, now-l.prevAck)
+		}
+		l.iterBytes = 0
+		if len(l.byteSamples) >= l.Observations {
+			l.finish()
+		}
+	}
+	l.iterBytes += ackedBytes
+	l.prevAck = now
+	l.sawAck = true
+	return 1.0
+}
+
+func (l *Learner) finish() {
+	bytes := append([]int64(nil), l.byteSamples...)
+	sort.Slice(bytes, func(i, j int) bool { return bytes[i] < bytes[j] })
+	total := bytes[len(bytes)/2]
+
+	minGap := l.gapSamples[0]
+	for _, g := range l.gapSamples[1:] {
+		if g < minGap {
+			minGap = g
+		}
+	}
+	comp := minGap / 2
+	if comp < l.GapThreshold {
+		// Never set the boundary threshold below the learning
+		// threshold: anything shorter was already not a boundary.
+		comp = l.GapThreshold
+	}
+	l.tracker = NewTracker(total, comp)
+}

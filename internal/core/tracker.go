@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"mltcp/internal/sim"
+)
+
+// Tracker maintains the per-flow state of Algorithm 1 (MLTCP-Reno): the
+// bytes successfully delivered in the current training iteration, the
+// resulting bytes_ratio, and iteration-boundary detection from gaps in the
+// ACK arrival stream (a gap longer than COMP_TIME means the job went back
+// to computing, so the next ACK opens a new iteration).
+type Tracker struct {
+	totalBytes int64    // TOTAL_BYTES: bytes per iteration
+	compTime   sim.Time // COMP_TIME: gap threshold for iteration boundaries
+
+	bytesSent    int64
+	bytesRatio   float64
+	prevAckStamp sim.Time
+	sawAck       bool
+
+	iterations int
+}
+
+// NewTracker initializes Algorithm 1's state (the INITIALIZE procedure).
+// totalBytes is the job's per-iteration communication volume; compTime is
+// the ACK-gap threshold marking an iteration boundary. Both must be
+// positive; jobs that cannot provide them up front use a Learner instead.
+func NewTracker(totalBytes int64, compTime sim.Time) *Tracker {
+	if totalBytes <= 0 {
+		panic(fmt.Sprintf("core: TOTAL_BYTES must be positive, got %d", totalBytes))
+	}
+	if compTime <= 0 {
+		panic(fmt.Sprintf("core: COMP_TIME must be positive, got %v", compTime))
+	}
+	return &Tracker{totalBytes: totalBytes, compTime: compTime}
+}
+
+// OnAck advances the tracker for an ACK delivering ackedBytes at time now
+// and returns the current bytes_ratio. It mirrors Algorithm 1's
+// CONGESTION_AVOIDANCE bookkeeping (lines 7–17): the byte counter is
+// charged first; if the gap since the previous ACK exceeds COMP_TIME the
+// state resets (new iteration, ratio 0), otherwise the ratio is
+// min(1, bytes_sent/TOTAL_BYTES).
+func (t *Tracker) OnAck(now sim.Time, ackedBytes int64) float64 {
+	t.bytesSent += ackedBytes
+	if t.sawAck && now-t.prevAckStamp > t.compTime {
+		// Start of a new training iteration: reset, exactly as the
+		// paper's line 13 (the boundary ACK's bytes are dropped too).
+		t.bytesSent = 0
+		t.bytesRatio = 0
+		t.iterations++
+	} else {
+		t.bytesRatio = minf(1, float64(t.bytesSent)/float64(t.totalBytes))
+	}
+	t.prevAckStamp = now
+	t.sawAck = true
+	return t.bytesRatio
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BytesRatio returns the current bytes_ratio without advancing state.
+func (t *Tracker) BytesRatio() float64 { return t.bytesRatio }
+
+// BytesSent returns the bytes delivered in the current iteration.
+func (t *Tracker) BytesSent() int64 { return t.bytesSent }
+
+// TotalBytes returns the configured TOTAL_BYTES.
+func (t *Tracker) TotalBytes() int64 { return t.totalBytes }
+
+// CompTime returns the configured COMP_TIME gap threshold.
+func (t *Tracker) CompTime() sim.Time { return t.compTime }
+
+// Iterations returns how many iteration boundaries have been detected.
+func (t *Tracker) Iterations() int { return t.iterations }

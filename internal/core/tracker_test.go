@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"mltcp/internal/sim"
+)
+
+func TestTrackerRatioWithinIteration(t *testing.T) {
+	tr := NewTracker(1000, 100*sim.Millisecond)
+	r := tr.OnAck(sim.Millisecond, 250)
+	if !near(r, 0.25) {
+		t.Errorf("ratio = %v, want 0.25", r)
+	}
+	r = tr.OnAck(2*sim.Millisecond, 250)
+	if !near(r, 0.5) {
+		t.Errorf("ratio = %v, want 0.5", r)
+	}
+	r = tr.OnAck(3*sim.Millisecond, 1000)
+	if r != 1 {
+		t.Errorf("ratio = %v, want clamp at 1", r)
+	}
+}
+
+func TestTrackerIterationBoundaryReset(t *testing.T) {
+	tr := NewTracker(1000, 100*sim.Millisecond)
+	tr.OnAck(sim.Millisecond, 800)
+	// Gap larger than COMP_TIME: new iteration, full reset.
+	r := tr.OnAck(500*sim.Millisecond, 300)
+	if r != 0 {
+		t.Errorf("ratio after boundary = %v, want 0 (paper line 13 resets)", r)
+	}
+	if tr.BytesSent() != 0 {
+		t.Errorf("bytesSent after boundary = %d, want 0", tr.BytesSent())
+	}
+	if tr.Iterations() != 1 {
+		t.Errorf("iterations = %d, want 1", tr.Iterations())
+	}
+	// Subsequent ACKs accumulate again.
+	r = tr.OnAck(501*sim.Millisecond, 500)
+	if !near(r, 0.5) {
+		t.Errorf("ratio = %v, want 0.5", r)
+	}
+}
+
+func TestTrackerGapEqualToCompTimeIsNotBoundary(t *testing.T) {
+	tr := NewTracker(1000, 100*sim.Millisecond)
+	tr.OnAck(0, 100)
+	r := tr.OnAck(100*sim.Millisecond, 100) // exactly COMP_TIME: not a boundary
+	if !near(r, 0.2) {
+		t.Errorf("ratio = %v, want 0.2 (no reset at gap == COMP_TIME)", r)
+	}
+}
+
+func TestTrackerFirstAckNeverBoundary(t *testing.T) {
+	tr := NewTracker(1000, sim.Millisecond)
+	// First ACK arrives "late" relative to time zero; must not reset.
+	r := tr.OnAck(10*sim.Second, 500)
+	if !near(r, 0.5) {
+		t.Errorf("first-ack ratio = %v, want 0.5", r)
+	}
+	if tr.Iterations() != 0 {
+		t.Errorf("iterations = %d, want 0", tr.Iterations())
+	}
+}
+
+func TestTrackerValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero-bytes": func() { NewTracker(0, sim.Second) },
+		"zero-comp":  func() { NewTracker(100, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLearnerLocksInParameters(t *testing.T) {
+	l := NewLearner(10*sim.Millisecond, 2)
+	now := sim.Time(0)
+	feedIteration := func(bytes int64) {
+		for sent := int64(0); sent < bytes; sent += 1000 {
+			if r := l.OnAck(now, 1000); !l.Learned() && r != 1.0 {
+				t.Fatalf("learning-phase ratio = %v, want 1.0", r)
+			}
+			now += sim.Millisecond
+		}
+		now += 200 * sim.Millisecond // compute phase
+	}
+	feedIteration(50_000) // partial first iteration (ends at first gap)
+	feedIteration(50_000) // observation 1
+	feedIteration(50_000) // observation 2
+	// The boundary after the second full iteration triggers finish.
+	l.OnAck(now, 1000)
+	if !l.Learned() {
+		t.Fatal("learner did not lock in after 2 observed iterations")
+	}
+	tr := l.Tracker()
+	if tr.TotalBytes() != 50_000 {
+		t.Errorf("learned TOTAL_BYTES = %d, want 50000", tr.TotalBytes())
+	}
+	// COMP_TIME should be ~half the 200ms gap.
+	if tr.CompTime() < 50*sim.Millisecond || tr.CompTime() > 150*sim.Millisecond {
+		t.Errorf("learned COMP_TIME = %v, want ~100ms", tr.CompTime())
+	}
+}
+
+func TestLearnerForwardsAfterLearning(t *testing.T) {
+	l := NewLearner(10*sim.Millisecond, 1)
+	now := sim.Time(0)
+	for i := 0; i < 10; i++ {
+		l.OnAck(now, 1000)
+		now += sim.Millisecond
+	}
+	now += 100 * sim.Millisecond
+	l.OnAck(now, 1000) // boundary: one observation -> learned
+	if !l.Learned() {
+		t.Fatal("not learned after 1 observation")
+	}
+	// Now ratios come from the tracker.
+	now += sim.Millisecond
+	r := l.OnAck(now, 5000)
+	if r <= 0 || r > 1 {
+		t.Errorf("post-learning ratio = %v, want (0,1]", r)
+	}
+}
+
+func TestLearnerDefaults(t *testing.T) {
+	l := NewLearner(0, 0)
+	if l.GapThreshold != DefaultLearnGap {
+		t.Errorf("default gap = %v", l.GapThreshold)
+	}
+	if l.Observations != 2 {
+		t.Errorf("default observations = %d", l.Observations)
+	}
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"testing"
+
+	"mltcp/internal/sim"
+)
+
+func TestFig1TrafficPatterns(t *testing.T) {
+	res := Fig1()
+	if len(res.Names) != 4 || len(res.Demand) != 4 {
+		t.Fatalf("want 4 jobs, got %d", len(res.Names))
+	}
+	for i, d := range res.Demand {
+		var on, off int
+		for _, v := range d {
+			if v > 0 {
+				on++
+			} else {
+				off++
+			}
+		}
+		if on == 0 || off == 0 {
+			t.Errorf("job %s demand is not on-off: on=%d off=%d", res.Names[i], on, off)
+		}
+	}
+	// J1 (GPT-3, a=1/3) must have a higher duty cycle than J2 (GPT-2, a=1/9).
+	duty := func(d []float64) float64 { return 0 } // placeholder replaced below
+	_ = duty
+	count := func(i int) (on int) {
+		for _, v := range res.Demand[i] {
+			if v > 0 {
+				on++
+			}
+		}
+		return on
+	}
+	if count(0) <= count(1) {
+		t.Errorf("J1 duty (%d buckets) should exceed J2's (%d)", count(0), count(1))
+	}
+}
+
+func TestFig2CentralizedAchievesIdeal(t *testing.T) {
+	res := Fig2Centralized()
+	// §2: average iteration times 1.2s (J1) and 1.8s (J2-J4).
+	for _, j := range res.Jobs {
+		if j.Slowdown > 1.02 {
+			t.Errorf("%s: centralized slowdown %.3f (avg %v, ideal %v), want ~1.0",
+				j.Name, j.Slowdown, j.AvgIter, j.Ideal)
+		}
+	}
+	if res.Jobs[0].Ideal != 1200*sim.Millisecond || res.Jobs[1].Ideal != 1800*sim.Millisecond {
+		t.Errorf("ideals = %v/%v, want 1.2s/1.8s", res.Jobs[0].Ideal, res.Jobs[1].Ideal)
+	}
+}
+
+func TestFig2SRPTHeadOfLineBlocksJ1(t *testing.T) {
+	res := Fig2SRPT()
+	j1 := res.Jobs[0]
+	// §2: "J1 incurs a slowdown of 1.5X"; all four average 1.8s.
+	if j1.Slowdown < 1.4 || j1.Slowdown > 1.6 {
+		t.Errorf("J1 SRPT slowdown = %.3f (avg %v), want ~1.5", j1.Slowdown, j1.AvgIter)
+	}
+	for _, j := range res.Jobs[1:] {
+		if j.Slowdown > 1.1 {
+			t.Errorf("%s: SRPT slowdown %.3f, want near-ideal", j.Name, j.Slowdown)
+		}
+	}
+}
+
+func TestFig2MLTCPMatchesCentralized(t *testing.T) {
+	res := Fig2MLTCP()
+	// §2: converges within 5% of the optimal centralized schedule.
+	for _, j := range res.Jobs {
+		if j.Slowdown > 1.05 {
+			t.Errorf("%s: MLTCP steady slowdown %.3f (avg %v, ideal %v), want within 5%%",
+				j.Name, j.Slowdown, j.AvgIter, j.Ideal)
+		}
+	}
+	// §2: "MLTCP converges to an interleaved state within 20 iterations"
+	// — allow some slack for the fluid abstraction.
+	if res.ConvergedAt < 0 || res.ConvergedAt > 30 {
+		t.Errorf("converged at iteration %d, want <= ~20-30", res.ConvergedAt)
+	}
+}
+
+func TestFig2RenoBaselineStaysCongested(t *testing.T) {
+	res := Fig2Reno()
+	congested := 0
+	for _, j := range res.Jobs {
+		if j.Slowdown > 1.1 {
+			congested++
+		}
+	}
+	if congested == 0 {
+		t.Error("plain fair sharing should leave at least one job congested")
+	}
+}
+
+func TestFig3IncreasingFunctionsConvergeDecreasingDoNot(t *testing.T) {
+	res := Fig3()
+	if len(res.Functions) != 6 {
+		t.Fatalf("want 6 functions, got %d", len(res.Functions))
+	}
+	for i, name := range res.Functions {
+		series := res.IterTimeMS[i]
+		if len(series) < 25 {
+			t.Fatalf("%s: only %d iterations", name, len(series))
+		}
+		tail := series[len(series)-5:]
+		var avgTail float64
+		for _, v := range tail {
+			avgTail += v
+		}
+		avgTail /= float64(len(tail))
+		increasing := name != "F5" && name != "F6"
+		if increasing {
+			// Converge to within 3% of the 1800ms ideal.
+			if avgTail > res.IdealMS*1.03 {
+				t.Errorf("%s: tail iteration %.0fms, want ~%.0fms", name, avgTail, res.IdealMS)
+			}
+		} else {
+			// Decreasing functions never interleave: stay >=8% above.
+			if avgTail < res.IdealMS*1.08 {
+				t.Errorf("%s: tail iteration %.0fms — decreasing F should not converge", name, avgTail)
+			}
+		}
+	}
+}
+
+func TestFig4TailSpeedup(t *testing.T) {
+	res := Fig4()
+	// Paper: 1.59× tail (p99) iteration-time speedup over Reno for six
+	// GPT-2 jobs. Accept the right ballpark.
+	if res.TailSpeedup < 1.3 || res.TailSpeedup > 1.8 {
+		t.Errorf("tail speedup = %.3f, want ~1.5-1.6", res.TailSpeedup)
+	}
+	// Reno's CDF must sit to the right of (above) MLTCP's at the tail.
+	if res.RenoCDF[len(res.RenoCDF)-1].Value <= res.MLTCPCDF[len(res.MLTCPCDF)-1].Value {
+		t.Error("Reno max iteration should exceed MLTCP max")
+	}
+}
+
+func TestFig5LossMinimumAtHalfPeriod(t *testing.T) {
+	res := Fig5()
+	// Figure 5(c): minimum at Δ = T/2 = 0.9s for a = 1/2, T = 1.8s.
+	if res.MinDeltaSec < 0.85 || res.MinDeltaSec > 0.95 {
+		t.Errorf("loss minimum at %.3fs, want ~0.9s", res.MinDeltaSec)
+	}
+	if res.Loss[0] != 0 {
+		t.Errorf("Loss(0) = %v, want 0", res.Loss[0])
+	}
+}
+
+func TestFig6SlidingEffect(t *testing.T) {
+	res := Fig6()
+	if res.InterleavedAt < 0 {
+		t.Fatal("two GPT-2 jobs never interleaved")
+	}
+	if res.InterleavedAt > 30 {
+		t.Errorf("interleaved at iteration %d, want within ~20-30", res.InterleavedAt)
+	}
+	// Delta must grow (slide) monotonically-ish until interleaved.
+	if len(res.DeltaSec) < 5 {
+		t.Fatal("too few deltas")
+	}
+	if res.DeltaSec[res.InterleavedAt] <= res.DeltaSec[0] {
+		t.Errorf("delta did not grow: start %.3f, at convergence %.3f",
+			res.DeltaSec[0], res.DeltaSec[res.InterleavedAt])
+	}
+	// After interleaving, shifts should be ~0 (stable schedule).
+	for i := res.InterleavedAt + 1; i < len(res.ShiftSec); i++ {
+		if s := res.ShiftSec[i]; s > 0.05 || s < -0.05 {
+			t.Errorf("post-convergence shift %d = %.3fs, want ~0", i, s)
+		}
+	}
+}
+
+func TestNoiseBoundHolds(t *testing.T) {
+	res := NoiseBound(2)
+	if len(res.SigmaMS) < 3 {
+		t.Fatal("too few sigma points")
+	}
+	for i := range res.SigmaMS {
+		if res.MeasuredMS[i] > res.BoundMS[i]*1.25 {
+			t.Errorf("sigma %.0fms: measured error std %.1fms exceeds bound %.1fms",
+				res.SigmaMS[i], res.MeasuredMS[i], res.BoundMS[i])
+		}
+	}
+	// Error must grow with sigma (roughly linear => larger at the top).
+	if res.MeasuredMS[len(res.MeasuredMS)-1] <= res.MeasuredMS[0] {
+		t.Errorf("error did not grow with noise: %v", res.MeasuredMS)
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mltcp/internal/metrics"
+	"mltcp/internal/netsim"
+	"mltcp/internal/sim"
+	"mltcp/internal/tcp"
+	"mltcp/internal/units"
+	"mltcp/internal/workload"
+)
+
+// FCTResult summarizes a flow-completion-time run over conventional
+// datacenter traffic — the baseline-validation experiment. §2's argument
+// that SRPT-style schedulers are built for this regime (and not for DNN
+// periodicity) only carries weight if our pFabric/DCTCP baselines behave
+// canonically on it: short flows far faster under pFabric than under
+// FIFO/Reno.
+type FCTResult struct {
+	Scheme string
+	// Completed is how many flows finished within the horizon.
+	Completed int
+	// ShortMeanMS/ShortP99MS cover flows < 100 KB; LargeMeanMS covers
+	// flows > 1 MB.
+	ShortMeanMS float64
+	ShortP99MS  float64
+	LargeMeanMS float64
+	// OverallMeanMS covers all completed flows.
+	OverallMeanMS float64
+}
+
+// FCT scheme identifiers.
+const (
+	FCTReno    = "reno-fifo"
+	FCTDCTCP   = "dctcp"
+	FCTPFabric = "pfabric"
+)
+
+// fctScale keeps the run tractable: a 100 Mbps bottleneck with 8 host
+// pairs and websearch-distributed flow sizes.
+const (
+	fctRate  = 100 * units.Mbps
+	fctPairs = 8
+)
+
+// RunFCT runs one scheme at the given offered load (fraction of bottleneck
+// capacity) for the horizon, generating Poisson arrivals of
+// websearch-sized flows across random host pairs.
+func RunFCT(scheme string, load float64, horizon sim.Time, seed uint64) FCTResult {
+	if load <= 0 || load >= 1 {
+		panic(fmt.Sprintf("experiments: FCT load %v out of (0,1)", load))
+	}
+	eng := sim.New()
+	var queue func() netsim.Queue
+	switch scheme {
+	case FCTReno:
+		queue = nil // default drop-tail FIFO
+	case FCTDCTCP:
+		queue = func() netsim.Queue {
+			return netsim.NewECNQueue(netsim.NewDropTail(netsim.DefaultQueuePackets*netsim.DefaultMTU),
+				20*netsim.DefaultMTU)
+		}
+	case FCTPFabric:
+		queue = func() netsim.Queue {
+			return netsim.NewPFabricQueue(netsim.DefaultQueuePackets * netsim.DefaultMTU)
+		}
+	default:
+		panic(fmt.Sprintf("experiments: unknown FCT scheme %q", scheme))
+	}
+	net := netsim.NewDumbbell(eng, netsim.DumbbellConfig{
+		HostPairs:       fctPairs,
+		HostRate:        1 * units.Gbps,
+		BottleneckRate:  fctRate,
+		HostDelay:       10 * sim.Microsecond,
+		BottleneckDelay: 30 * sim.Microsecond,
+		BottleneckQueue: queue,
+	})
+
+	dist := workload.WebSearch()
+	rng := sim.NewRNG(seed)
+	arrivals := workload.NewPoissonArrivals(load*float64(fctRate)/8/dist.Mean(), rng.Fork())
+	sizeRNG := rng.Fork()
+	pairRNG := rng.Fork()
+
+	type rec struct {
+		size  int64
+		start sim.Time
+		done  sim.Time
+	}
+	var flows []*rec
+	nextID := netsim.FlowID(1)
+
+	var launch func(e *sim.Engine)
+	launch = func(e *sim.Engine) {
+		if e.Now() >= horizon {
+			return
+		}
+		size := dist.Sample(sizeRNG)
+		pair := pairRNG.Intn(fctPairs)
+		r := &rec{size: size, start: e.Now()}
+		flows = append(flows, r)
+
+		cfg := tcp.Config{}
+		var cc tcp.CongestionControl
+		switch scheme {
+		case FCTReno:
+			cc = tcp.NewReno()
+		case FCTDCTCP:
+			cc = tcp.NewDCTCP()
+			cfg.ECN = true
+		case FCTPFabric:
+			// pFabric senders start aggressively and rely on the
+			// switch's SRPT priority plus a small RTO.
+			cc = tcp.NewReno()
+			cfg.Prio = tcp.PFabricPrio
+			cfg.InitialCwnd = 40
+			cfg.MinRTO = 2 * sim.Millisecond
+		}
+		f := tcp.NewFlow(e, nextID, net.Left[pair], net.Right[pair], cc, cfg)
+		nextID++
+		f.Sender.Drained(func(now sim.Time) { r.done = now })
+		f.Sender.Write(size)
+
+		e.After(arrivals.Next(), launch)
+	}
+	eng.At(0, launch)
+	// Let the tail drain past the arrival horizon.
+	eng.RunUntil(horizon + 20*sim.Second)
+
+	res := FCTResult{Scheme: scheme}
+	var short, large, all metrics.Series
+	for _, r := range flows {
+		if r.done == 0 {
+			continue
+		}
+		res.Completed++
+		fct := (r.done - r.start).Seconds() * 1000
+		all = append(all, fct)
+		if r.size < 100_000 {
+			short = append(short, fct)
+		} else if r.size > 1_000_000 {
+			large = append(large, fct)
+		}
+	}
+	res.OverallMeanMS = all.Mean()
+	if len(short) > 0 {
+		res.ShortMeanMS = short.Mean()
+		res.ShortP99MS = short.Percentile(99)
+	}
+	res.LargeMeanMS = large.Mean()
+	return res
+}

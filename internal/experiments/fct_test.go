@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"testing"
+
+	"mltcp/internal/sim"
+)
+
+// The baseline validation: on conventional (websearch-like, Poisson)
+// traffic the schemes must reproduce their canonical ordering — pFabric's
+// SRPT priorities crush short-flow FCT, DCTCP's shallow queues beat
+// FIFO/Reno, and everyone eventually completes everything.
+func TestFCTCanonicalOrdering(t *testing.T) {
+	const (
+		load    = 0.6
+		horizon = 20 * sim.Second
+		seed    = 42
+	)
+	reno := RunFCT(FCTReno, load, horizon, seed)
+	dctcp := RunFCT(FCTDCTCP, load, horizon, seed)
+	pfabric := RunFCT(FCTPFabric, load, horizon, seed)
+
+	// Same seed => same arrival/size sequence => comparable counts.
+	if reno.Completed == 0 || reno.Completed != dctcp.Completed || reno.Completed != pfabric.Completed {
+		t.Fatalf("completion counts differ: reno %d, dctcp %d, pfabric %d",
+			reno.Completed, dctcp.Completed, pfabric.Completed)
+	}
+	// Short flows: pFabric << DCTCP << Reno.
+	if !(pfabric.ShortMeanMS < dctcp.ShortMeanMS && dctcp.ShortMeanMS < reno.ShortMeanMS) {
+		t.Errorf("short-flow means out of order: pfabric %.1f, dctcp %.1f, reno %.1f ms",
+			pfabric.ShortMeanMS, dctcp.ShortMeanMS, reno.ShortMeanMS)
+	}
+	if pfabric.ShortMeanMS*3 > reno.ShortMeanMS {
+		t.Errorf("pFabric short-flow advantage too small: %.1f vs %.1f ms (want >= 3x)",
+			pfabric.ShortMeanMS, reno.ShortMeanMS)
+	}
+	// Tail: pFabric's preemptive priorities should dominate at p99 too.
+	if pfabric.ShortP99MS >= reno.ShortP99MS {
+		t.Errorf("pFabric short p99 %.1f >= reno %.1f ms", pfabric.ShortP99MS, reno.ShortP99MS)
+	}
+	// Large flows must not be starved into non-completion (checked via
+	// the equal Completed counts above) and should still have sane FCTs.
+	if pfabric.LargeMeanMS <= 0 || reno.LargeMeanMS <= 0 {
+		t.Error("no large flows measured")
+	}
+}
+
+func TestFCTValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad-load":   func() { RunFCT(FCTReno, 1.5, sim.Second, 1) },
+		"bad-scheme": func() { RunFCT("bogus", 0.5, sim.Second, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// MLTCP jobs interleave even with conventional background traffic on the
+// bottleneck, and that background is not starved (§5's coexistence story
+// under a realistic mix).
+func TestMixedTrafficCoexistence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level run takes ~5s")
+	}
+	res := MixedTraffic(0.10, 60*sim.Second, 9)
+	// With ~10% of capacity taken by background, comm slows ~1/0.9:
+	// iteration ≈ compute + comm/0.9 ≈ 1.6 + 0.222 ≈ 1.82s; allow up to
+	// ~1.9s before calling it congested.
+	for i, steady := range res.JobSteady {
+		if steady.Seconds() > 1.93 {
+			t.Errorf("job %d steady %.3fs with 10%% background, want < 1.93s", i, steady.Seconds())
+		}
+	}
+	if res.BackgroundCompleted < res.BackgroundStarted*9/10 {
+		t.Errorf("background flows starved: %d/%d completed",
+			res.BackgroundCompleted, res.BackgroundStarted)
+	}
+	if res.BackgroundShortMeanMS <= 0 || res.BackgroundShortMeanMS > 500 {
+		t.Errorf("background short-flow FCT %.1fms implausible", res.BackgroundShortMeanMS)
+	}
+}

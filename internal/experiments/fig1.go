@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"mltcp/internal/sim"
+	"mltcp/internal/units"
+	"mltcp/internal/workload"
+)
+
+// Fig1Result holds the isolated traffic patterns of the four Fig. 1 jobs:
+// periodic on-off demand at line rate during each communication phase.
+type Fig1Result struct {
+	// Names are the job labels (J1 = GPT-3-like, J2–J4 = GPT-2-like).
+	Names []string
+	// Bucket is the sample width of each demand series.
+	Bucket sim.Time
+	// Demand[i] is job i's demand per bucket.
+	Demand [][]units.Rate
+}
+
+// Fig1 regenerates Figure 1: each job's communication pattern in isolation
+// over a few iterations.
+func Fig1() Fig1Result {
+	specs := []workload.Spec{
+		{Name: "J1", Profile: workload.GPT3},
+		{Name: "J2", Profile: workload.GPT2},
+		{Name: "J3", Profile: workload.GPT2},
+		{Name: "J4", Profile: workload.GPT2},
+	}
+	res := Fig1Result{Bucket: 50 * sim.Millisecond}
+	const horizon = 7200 * sim.Millisecond // 2 GPT-2 periods, 6 GPT-3 periods
+	for _, s := range specs {
+		res.Names = append(res.Names, s.Name)
+		res.Demand = append(res.Demand, workload.DemandTrace(s, LinkCapacity, horizon, res.Bucket))
+	}
+	return res
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"mltcp/internal/core"
+	"mltcp/internal/netsim"
+	"mltcp/internal/sim"
+	"mltcp/internal/tcp"
+	"mltcp/internal/units"
+	"mltcp/internal/workload"
+)
+
+// PacketLevelResult validates the fluid abstraction end to end: real
+// MLTCP-Reno senders (Algorithm 1 verbatim: ACK-gap iteration detection,
+// F(bytes_ratio)-scaled congestion avoidance) over the packet-level
+// dumbbell, driven by the DNN write/compute loop. The experiment is run at
+// 1/100 scale (500 Mbps bottleneck, byte volumes scaled likewise) so that
+// iteration times — and therefore the convergence story — are identical to
+// the 50 Gbps scenarios while packet counts stay tractable.
+type PacketLevelResult struct {
+	// CC names the congestion control used ("mltcp-reno", "reno", ...).
+	CC string
+	// IterTimes[i] are job i's iteration durations (comm start to next
+	// comm start).
+	IterTimes [][]sim.Time
+	// SteadyAvg[i] is job i's average over the last 10 iterations.
+	SteadyAvg []sim.Time
+	// Ideal is the isolated iteration time.
+	Ideal sim.Time
+	// InterleavedAt is the first iteration from which every job's
+	// duration stays within tol of ideal, -1 if never.
+	InterleavedAt int
+}
+
+// Packet-level scale: 1/100 of the paper's testbed.
+const (
+	plRate  = 500 * units.Mbps
+	plScale = 0.01
+)
+
+// packetJob drives one sender through the DNN loop and records phase
+// boundaries.
+type packetJob struct {
+	sender     *tcp.Sender
+	bytes      int64
+	compute    sim.Time
+	noiseStd   sim.Time
+	rng        *sim.RNG
+	commStarts []sim.Time
+	iterTimes  []sim.Time
+}
+
+func (p *packetJob) start(eng *sim.Engine, offset sim.Time) {
+	p.sender.Drained(func(now sim.Time) {
+		compute := p.compute
+		if p.noiseStd > 0 {
+			compute = p.rng.NormDuration(compute, p.noiseStd, 0)
+		}
+		eng.After(compute, func(e *sim.Engine) { p.begin(e) })
+	})
+	eng.At(offset, func(e *sim.Engine) { p.begin(e) })
+}
+
+func (p *packetJob) begin(eng *sim.Engine) {
+	now := eng.Now()
+	if n := len(p.commStarts); n > 0 {
+		p.iterTimes = append(p.iterTimes, now-p.commStarts[n-1])
+	}
+	p.commStarts = append(p.commStarts, now)
+	p.sender.Write(p.bytes)
+}
+
+// ccFactory builds a fresh congestion control per flow (MLTCP state is
+// per-flow and must not be shared).
+type ccFactory func(totalBytes int64) tcp.CongestionControl
+
+// MLTCPRenoFactory builds Algorithm 1 with known parameters.
+func MLTCPRenoFactory(compTime sim.Time) ccFactory {
+	return func(totalBytes int64) tcp.CongestionControl {
+		return core.Wrap(tcp.NewReno(), core.Default(), core.NewTracker(totalBytes, compTime))
+	}
+}
+
+// MLTCPRenoLearnedFactory builds Algorithm 1 with auto-learned parameters,
+// as the paper's kernel module operates when TOTAL_BYTES/COMP_TIME are not
+// given.
+func MLTCPRenoLearnedFactory(learnGap sim.Time) ccFactory {
+	return func(int64) tcp.CongestionControl {
+		return core.Wrap(tcp.NewReno(), core.Default(), core.NewLearner(learnGap, 2))
+	}
+}
+
+// MLTCPCubicFactory wraps CUBIC instead of Reno, exercising §6's note that
+// other congestion-control schemes are augmented the same way.
+func MLTCPCubicFactory(compTime sim.Time) ccFactory {
+	return func(totalBytes int64) tcp.CongestionControl {
+		return core.Wrap(tcp.NewCubic(), core.Default(), core.NewTracker(totalBytes, compTime))
+	}
+}
+
+// MLTCPDCTCPFactory wraps DCTCP; run it with PacketLevelOpts(ecn=true).
+func MLTCPDCTCPFactory(compTime sim.Time) ccFactory {
+	return func(totalBytes int64) tcp.CongestionControl {
+		return core.Wrap(tcp.NewDCTCP(), core.Default(), core.NewTracker(totalBytes, compTime))
+	}
+}
+
+// MLTCPSwiftFactory wraps the delay-based Swift, showing the technique
+// also applies outside the loss-based family.
+func MLTCPSwiftFactory(compTime sim.Time) ccFactory {
+	return func(totalBytes int64) tcp.CongestionControl {
+		return core.Wrap(tcp.NewSwift(), core.Default(), core.NewTracker(totalBytes, compTime))
+	}
+}
+
+// RenoFactory builds plain Reno.
+func RenoFactory() ccFactory {
+	return func(int64) tcp.CongestionControl { return tcp.NewReno() }
+}
+
+// PacketLevel runs n scaled GPT-2 jobs at packet level with the given CC
+// factory for `horizon` and summarizes convergence. noiseStd adds zero-mean
+// Gaussian noise to every compute phase, the §4 perturbation model; with
+// noise, only a scheme with a restoring force toward interleaving (MLTCP)
+// keeps iteration times near ideal — fair sharing random-walks back into
+// collisions.
+func PacketLevel(n int, factory ccFactory, ccName string, horizon, noiseStd sim.Time) PacketLevelResult {
+	return PacketLevelProfile(n, factory, ccName, horizon, noiseStd, ScaledGPT2())
+}
+
+// ScaledGPT2 is the GPT-2 profile with bytes at 1/100 (for the 500 Mbps
+// bottleneck) and the compute phase at full duration, so iteration
+// structure matches the 50 Gbps scenario.
+func ScaledGPT2() workload.Profile {
+	p := workload.GPT2.Scale(plScale)
+	p.ComputeTime = workload.GPT2.ComputeTime
+	return p
+}
+
+// TightProfile returns an n-job profile with the given per-job duty cycle
+// (comm fraction of the 1.8 s period) at packet-level scale. High aggregate
+// duty (n×duty near 1) makes the Reno-vs-MLTCP contrast sharp: noise knocks
+// a tight schedule out of alignment and only MLTCP restores it.
+func TightProfile(duty float64) workload.Profile {
+	period := 1800 * sim.Millisecond
+	comm := sim.Time(float64(period) * duty)
+	return workload.Profile{
+		Name:        "tight",
+		ComputeTime: period - comm,
+		CommBytes:   units.ByteCount(plRate.BytesIn(comm)),
+	}
+}
+
+// PacketLevelProfile is PacketLevel with an explicit (already scaled)
+// profile.
+func PacketLevelProfile(n int, factory ccFactory, ccName string, horizon, noiseStd sim.Time, profile workload.Profile) PacketLevelResult {
+	return PacketLevelOpts(n, factory, ccName, horizon, noiseStd, profile, false)
+}
+
+// PacketLevelOpts additionally enables ECN: the bottleneck marks above a
+// 20-packet threshold and senders negotiate ECN-capable transport, the
+// configuration MLTCP-DCTCP needs.
+func PacketLevelOpts(n int, factory ccFactory, ccName string, horizon, noiseStd sim.Time, profile workload.Profile, ecn bool) PacketLevelResult {
+	eng := sim.New()
+	cfg := netsim.DumbbellConfig{
+		HostPairs:       n,
+		HostRate:        5 * units.Gbps,
+		BottleneckRate:  plRate,
+		HostDelay:       10 * sim.Microsecond,
+		BottleneckDelay: 30 * sim.Microsecond,
+	}
+	if ecn {
+		cfg.BottleneckQueue = func() netsim.Queue {
+			return netsim.NewECNQueue(
+				netsim.NewDropTail(netsim.DefaultQueuePackets*netsim.DefaultMTU),
+				20*netsim.DefaultMTU)
+		}
+	}
+	net := netsim.NewDumbbell(eng, cfg)
+	bytes := int64(profile.CommBytes)
+
+	jobs := make([]*packetJob, n)
+	for i := 0; i < n; i++ {
+		f := tcp.NewFlow(eng, netsim.FlowID(i+1), net.Left[i], net.Right[i],
+			factory(bytes), tcp.Config{ECN: ecn})
+		jobs[i] = &packetJob{
+			sender:   f.Sender,
+			bytes:    bytes,
+			compute:  profile.ComputeTime,
+			noiseStd: noiseStd,
+			rng:      sim.NewRNG(uint64(i + 1)),
+		}
+		jobs[i].start(eng, sim.Time(i)*StaggerOffset)
+	}
+	eng.RunUntil(horizon)
+
+	ideal := profile.ComputeTime + plRate.TransmissionTime(bytes)
+	res := PacketLevelResult{CC: ccName, Ideal: ideal, InterleavedAt: -1}
+	for _, j := range jobs {
+		res.IterTimes = append(res.IterTimes, j.iterTimes)
+		var sum sim.Time
+		count := 0
+		for k := len(j.iterTimes) - 10; k < len(j.iterTimes); k++ {
+			if k >= 0 {
+				sum += j.iterTimes[k]
+				count++
+			}
+		}
+		if count > 0 {
+			res.SteadyAvg = append(res.SteadyAvg, sum/sim.Time(count))
+		} else {
+			res.SteadyAvg = append(res.SteadyAvg, 0)
+		}
+	}
+	res.InterleavedAt = packetConverged(res.IterTimes, ideal, 0.08)
+	return res
+}
+
+func packetConverged(iterTimes [][]sim.Time, ideal sim.Time, tol float64) int {
+	maxIter := 0
+	for _, ts := range iterTimes {
+		if len(ts) > maxIter {
+			maxIter = len(ts)
+		}
+	}
+	for k := 0; k < maxIter; k++ {
+		ok := true
+		for _, ts := range iterTimes {
+			for _, d := range ts[min(k, len(ts)):] {
+				if diff := d.Seconds()/ideal.Seconds() - 1; diff > tol || diff < -tol {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return k
+		}
+	}
+	return -1
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"testing"
+
+	"mltcp/internal/metrics"
+	"mltcp/internal/netsim"
+	"mltcp/internal/sim"
+	"mltcp/internal/tcp"
+	"mltcp/internal/units"
+)
+
+func steadyMean(r PacketLevelResult, skip int) float64 {
+	var all metrics.Series
+	for _, ts := range r.IterTimes {
+		for i, d := range ts {
+			if i >= skip {
+				all = append(all, d.Seconds())
+			}
+		}
+	}
+	return all.Mean()
+}
+
+// The flagship end-to-end validation: real MLTCP-Reno senders (Algorithm 1
+// over the packet-level TCP stack) interleave a noisy, tightly packed
+// four-job workload and hold near-ideal iteration times, while plain Reno
+// under identical noise degrades substantially. This is the packet-level
+// counterpart of the fluid results and the check that the fluid weighted-
+// share abstraction is faithful.
+func TestPacketLevelMLTCPBeatsRenoUnderNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level run takes ~15s")
+	}
+	const (
+		horizon = 90 * sim.Second
+		noise   = 25 * sim.Millisecond
+		skip    = 15
+	)
+	prof := TightProfile(0.22) // 4 jobs × 22% = 88% aggregate duty
+	ml := PacketLevelProfile(4, MLTCPRenoFactory(400*sim.Millisecond), "mltcp-reno", horizon, noise, prof)
+	reno := PacketLevelProfile(4, RenoFactory(), "reno", horizon, noise, prof)
+
+	ideal := ml.Ideal.Seconds()
+	mlMean := steadyMean(ml, skip)
+	renoMean := steadyMean(reno, skip)
+	if mlMean > ideal*1.08 {
+		t.Errorf("MLTCP steady mean %.3fs, want within 8%% of ideal %.3fs", mlMean, ideal)
+	}
+	if renoMean < ideal*1.10 {
+		t.Errorf("Reno steady mean %.3fs unexpectedly near ideal %.3fs — no contrast", renoMean, ideal)
+	}
+	if mlMean >= renoMean {
+		t.Errorf("MLTCP (%.3fs) should beat Reno (%.3fs)", mlMean, renoMean)
+	}
+}
+
+// Without noise the deterministic packet-level MLTCP jobs converge to the
+// ideal iteration time within the paper's ~20 iterations.
+func TestPacketLevelMLTCPConvergesDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level run takes ~5s")
+	}
+	res := PacketLevel(2, MLTCPRenoFactory(400*sim.Millisecond), "mltcp-reno", 60*sim.Second, 0)
+	if res.InterleavedAt < 0 || res.InterleavedAt > 20 {
+		t.Errorf("interleaved at %d, want within 20 iterations", res.InterleavedAt)
+	}
+	for i, avg := range res.SteadyAvg {
+		if diff := avg.Seconds()/res.Ideal.Seconds() - 1; diff > 0.02 || diff < -0.02 {
+			t.Errorf("job %d steady avg %v, want within 2%% of %v", i, avg, res.Ideal)
+		}
+	}
+}
+
+// Auto-learned TOTAL_BYTES/COMP_TIME must work as well as given parameters
+// once the first iterations have been observed.
+func TestPacketLevelAutoLearnedParameters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level run takes ~5s")
+	}
+	res := PacketLevel(2, MLTCPRenoLearnedFactory(100*sim.Millisecond), "mltcp-reno-learned", 60*sim.Second, 0)
+	for i, avg := range res.SteadyAvg {
+		if diff := avg.Seconds()/res.Ideal.Seconds() - 1; diff > 0.03 || diff < -0.03 {
+			t.Errorf("job %d steady avg %v with learned params, want within 3%% of %v", i, avg, res.Ideal)
+		}
+	}
+}
+
+func TestFairnessClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level sweep takes ~5s")
+	}
+	res := FairnessWithHorizon(30 * sim.Second)
+	// Reno follows the Mathis 1/√p law.
+	if res.RenoExponent > -0.35 || res.RenoExponent < -0.65 {
+		t.Errorf("Reno loss exponent = %.3f, want ≈ -0.5", res.RenoExponent)
+	}
+	// §5: at the same loss probability, MLTCP-Reno claims more
+	// bandwidth than standard Reno...
+	if res.AdvantageRatio < 1.2 {
+		t.Errorf("MLTCP advantage ratio = %.3f, want > 1.2 (≈√2)", res.AdvantageRatio)
+	}
+	for i := range res.LossProbs {
+		if res.MLTCPMbps[i] <= res.RenoMbps[i] {
+			t.Errorf("p=%.3f: MLTCP %.1f <= Reno %.1f Mbps", res.LossProbs[i], res.MLTCPMbps[i], res.RenoMbps[i])
+		}
+	}
+	// ...claims more than its fair share when coexisting...
+	if res.ShareRatio < 1.1 {
+		t.Errorf("coexistence share ratio = %.3f, want > 1.1", res.ShareRatio)
+	}
+	// ...but does not starve the legacy flow.
+	if res.RenoShareOfFair < 0.25 {
+		t.Errorf("coexisting Reno at %.2f of fair share — starved", res.RenoShareOfFair)
+	}
+}
+
+// MLTCP wrapped around CUBIC and DCTCP also converges (§6: "Other
+// congestion control schemes are augmented in a similar way").
+func TestPacketLevelMLTCPOverOtherBases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level runs take ~10s")
+	}
+	cases := []struct {
+		name    string
+		factory ccFactory
+		ecn     bool
+	}{
+		{"mltcp-cubic", MLTCPCubicFactory(400 * sim.Millisecond), false},
+		{"mltcp-dctcp", MLTCPDCTCPFactory(400 * sim.Millisecond), true},
+		{"mltcp-swift", MLTCPSwiftFactory(400 * sim.Millisecond), false},
+	}
+	for _, c := range cases {
+		res := PacketLevelOpts(2, c.factory, c.name, 60*sim.Second, 0, ScaledGPT2(), c.ecn)
+		for i, avg := range res.SteadyAvg {
+			if diff := avg.Seconds()/res.Ideal.Seconds() - 1; diff > 0.05 || diff < -0.05 {
+				t.Errorf("%s job %d steady avg %v, want within 5%% of %v", c.name, i, avg, res.Ideal)
+			}
+		}
+	}
+}
+
+// Extension: the long job of a parking-lot chain interleaves against both
+// of its per-trunk neighbours simultaneously under MLTCP.
+func TestMultiBottleneckInterleaving(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level run takes ~8s")
+	}
+	res := MultiBottleneck(MLTCPRenoFactory(400*sim.Millisecond), 90*sim.Second)
+	for i, avg := range res.SteadyAvg {
+		if diff := avg.Seconds()/res.Ideal.Seconds() - 1; diff > 0.05 || diff < -0.05 {
+			t.Errorf("%s steady avg %v, want within 5%% of %v", res.Names[i], avg, res.Ideal)
+		}
+	}
+}
+
+// §3.1 requirement (i): the aggressiveness function's range must be "large
+// enough to absorb the noise (e.g., slight variations in round-trip time)".
+// With Gaussian RTT jitter on the bottleneck, MLTCP still interleaves.
+func TestPacketLevelConvergesUnderRTTJitter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level run takes ~5s")
+	}
+	eng := sim.New()
+	net := netsim.NewDumbbell(eng, netsim.DumbbellConfig{
+		HostPairs:       2,
+		HostRate:        5 * units.Gbps,
+		BottleneckRate:  500 * units.Mbps,
+		HostDelay:       10 * sim.Microsecond,
+		BottleneckDelay: 30 * sim.Microsecond,
+	})
+	net.Forward.JitterStd = 20 * sim.Microsecond
+	net.Forward.RNG = sim.NewRNG(11)
+	net.Reverse.JitterStd = 20 * sim.Microsecond
+	net.Reverse.RNG = sim.NewRNG(12)
+
+	profile := ScaledGPT2()
+	bytes := int64(profile.CommBytes)
+	jobs := make([]*packetJob, 2)
+	for i := range jobs {
+		f := tcp.NewFlow(eng, netsim.FlowID(i+1), net.Left[i], net.Right[i],
+			MLTCPRenoFactory(400*sim.Millisecond)(bytes), tcp.Config{})
+		jobs[i] = &packetJob{sender: f.Sender, bytes: bytes, compute: profile.ComputeTime}
+		jobs[i].start(eng, sim.Time(i)*StaggerOffset)
+	}
+	eng.RunUntil(60 * sim.Second)
+	ideal := profile.ComputeTime + plRate.TransmissionTime(bytes)
+	for i, j := range jobs {
+		n := len(j.iterTimes)
+		var sum sim.Time
+		for _, d := range j.iterTimes[n-10:] {
+			sum += d
+		}
+		avg := sum / 10
+		if diff := avg.Seconds()/ideal.Seconds() - 1; diff > 0.03 || diff < -0.03 {
+			t.Errorf("job %d steady %v under jitter, want within 3%% of %v", i, avg, ideal)
+		}
+	}
+}
+
+// Delayed ACKs make cumulative ACKs routinely cover two packets
+// (Algorithm 1's num_acks = 2); MLTCP's convergence must be unaffected.
+func TestPacketLevelConvergesWithDelayedAcks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level run takes ~3s")
+	}
+	eng := sim.New()
+	net := netsim.NewDumbbell(eng, netsim.DumbbellConfig{
+		HostPairs:       2,
+		HostRate:        5 * units.Gbps,
+		BottleneckRate:  500 * units.Mbps,
+		HostDelay:       10 * sim.Microsecond,
+		BottleneckDelay: 30 * sim.Microsecond,
+	})
+	profile := ScaledGPT2()
+	bytes := int64(profile.CommBytes)
+	jobs := make([]*packetJob, 2)
+	for i := range jobs {
+		f := tcp.NewFlow(eng, netsim.FlowID(i+1), net.Left[i], net.Right[i],
+			MLTCPRenoFactory(400*sim.Millisecond)(bytes),
+			tcp.Config{DelayedAck: true})
+		jobs[i] = &packetJob{sender: f.Sender, bytes: bytes, compute: profile.ComputeTime}
+		jobs[i].start(eng, sim.Time(i)*StaggerOffset)
+	}
+	eng.RunUntil(60 * sim.Second)
+	ideal := profile.ComputeTime + plRate.TransmissionTime(bytes)
+	for i, j := range jobs {
+		n := len(j.iterTimes)
+		var sum sim.Time
+		for _, d := range j.iterTimes[n-10:] {
+			sum += d
+		}
+		avg := sum / 10
+		if diff := avg.Seconds()/ideal.Seconds() - 1; diff > 0.03 || diff < -0.03 {
+			t.Errorf("job %d steady %v with delayed ACKs, want within 3%% of %v", i, avg, ideal)
+		}
+	}
+}

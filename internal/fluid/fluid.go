@@ -1,0 +1,310 @@
+// Package fluid is a flow-level (fluid) simulator of periodic DNN jobs
+// sharing one bottleneck link. Instead of individual packets, each
+// communicating job receives an instantaneous rate from a pluggable sharing
+// policy; phases advance by integrating those rates over small intervals.
+//
+// The weighted-share policy abstracts AIMD congestion control: with
+// synchronized loss and equal RTTs, a flow whose additive increase is
+// scaled by F obtains a steady-state bandwidth share proportional to F, so
+// MLTCP's window scaling appears here as a per-job weight F(bytes_ratio).
+// This is exactly the abstraction §4 of the paper uses to derive the Shift
+// function, and it lets convergence experiments spanning hundreds of
+// iterations run in milliseconds. The packet-level simulator
+// (internal/netsim + internal/tcp + internal/core) validates the
+// abstraction at small scale.
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"mltcp/internal/core"
+	"mltcp/internal/sim"
+	"mltcp/internal/units"
+	"mltcp/internal/workload"
+)
+
+type phase int
+
+const (
+	phaseIdle phase = iota // before StartOffset
+	phaseComm
+	phaseCompute
+	phaseDone // stopped by job-iteration limit
+)
+
+// Job is one periodic DNN job inside a fluid simulation.
+type Job struct {
+	// Spec is the job's workload description.
+	Spec workload.Spec
+	// Agg is the job's aggressiveness function; nil models a plain
+	// fair-share flow (TCP Reno) with constant weight 1.
+	Agg *core.AggFunc
+	// MaxIterations stops the job after this many completed
+	// communication phases (0 = unlimited).
+	MaxIterations int
+
+	phase         phase
+	commRemaining float64 // bytes left in the current comm phase
+	attained      float64 // bytes delivered in the current iteration
+	wakeAt        sim.Time
+	rng           *sim.RNG
+
+	// CommStarts and CommEnds record each communication phase's
+	// boundaries; IterDurations[i] = CommStarts[i+1] - CommStarts[i].
+	CommStarts    []sim.Time
+	CommEnds      []sim.Time
+	IterDurations []sim.Time
+}
+
+// TotalBytes returns the job's per-iteration communication volume.
+func (j *Job) TotalBytes() float64 { return float64(j.Spec.Profile.CommBytes) }
+
+// BytesRatio returns the fraction of the current iteration's bytes already
+// delivered, clamped to [0, 1] — the fluid analogue of Algorithm 1's
+// bytes_ratio.
+func (j *Job) BytesRatio() float64 {
+	return math.Min(1, j.attained/j.TotalBytes())
+}
+
+// Weight returns the job's current bandwidth weight: F(bytes_ratio) for
+// MLTCP jobs, 1 for plain fair-share jobs.
+func (j *Job) Weight() float64 {
+	if j.Agg == nil {
+		return 1
+	}
+	return j.Agg.Eval(j.BytesRatio())
+}
+
+// Remaining returns the bytes left in the current communication phase
+// (pFabric/SRPT's remaining flow size). Zero outside a comm phase.
+func (j *Job) Remaining() float64 {
+	if j.phase != phaseComm {
+		return 0
+	}
+	return j.commRemaining
+}
+
+// Attained returns the bytes delivered in the current iteration (the LAS /
+// PIAS demotion counter, which resets each iteration because each comm
+// phase is a fresh flowlet).
+func (j *Job) Attained() float64 { return j.attained }
+
+// currentCommStart returns when the job's current communication phase
+// began (sim.MaxTime if it never communicated).
+func (j *Job) currentCommStart() sim.Time {
+	if len(j.CommStarts) == 0 {
+		return sim.MaxTime
+	}
+	return j.CommStarts[len(j.CommStarts)-1]
+}
+
+// Communicating reports whether the job is in a communication phase.
+func (j *Job) Communicating() bool { return j.phase == phaseComm }
+
+// Iterations returns the number of completed communication phases.
+func (j *Job) Iterations() int { return len(j.CommEnds) }
+
+// AvgIterTime averages the iteration durations after skipping the first
+// `skip` (to exclude the convergence transient when measuring steady
+// state). It returns 0 if no iterations qualify.
+func (j *Job) AvgIterTime(skip int) sim.Time {
+	if skip >= len(j.IterDurations) {
+		return 0
+	}
+	var sum sim.Time
+	n := 0
+	for _, d := range j.IterDurations[skip:] {
+		sum += d
+		n++
+	}
+	return sum / sim.Time(n)
+}
+
+// Config configures a fluid simulation.
+type Config struct {
+	// Capacity is the bottleneck link rate.
+	Capacity units.Rate
+	// Policy allocates the bottleneck among communicating jobs.
+	Policy Policy
+	// Step bounds how long allocated rates are held constant before the
+	// policy re-evaluates (default 1ms). Phase boundaries are handled
+	// exactly regardless of Step.
+	Step sim.Time
+	// TraceBucket, when positive, records per-job bandwidth into
+	// buckets of this width for plotting.
+	TraceBucket sim.Time
+}
+
+// Sim runs a set of jobs over one bottleneck.
+type Sim struct {
+	cfg  Config
+	jobs []*Job
+	now  sim.Time
+
+	trace map[*Job][]float64 // bytes per bucket
+}
+
+// New creates a simulation. Every job gets a private noise stream derived
+// from its Spec.Seed.
+func New(cfg Config, jobs []*Job) *Sim {
+	if cfg.Capacity <= 0 {
+		panic("fluid: capacity must be positive")
+	}
+	if cfg.Policy == nil {
+		panic("fluid: nil policy")
+	}
+	if cfg.Step == 0 {
+		cfg.Step = sim.Millisecond
+	}
+	if cfg.Step < 0 {
+		panic("fluid: negative step")
+	}
+	if len(jobs) == 0 {
+		panic("fluid: no jobs")
+	}
+	s := &Sim{cfg: cfg, jobs: jobs, trace: make(map[*Job][]float64)}
+	for _, j := range jobs {
+		if j.Spec.Profile.CommBytes <= 0 || j.Spec.Profile.ComputeTime < 0 {
+			panic(fmt.Sprintf("fluid: job %s has invalid profile %v", j.Spec.Label(), j.Spec.Profile))
+		}
+		j.phase = phaseIdle
+		j.wakeAt = j.Spec.StartOffset
+		j.rng = sim.NewRNG(j.Spec.Seed ^ 0x9e3779b97f4a7c15)
+	}
+	return s
+}
+
+// Jobs returns the simulated jobs.
+func (s *Sim) Jobs() []*Job { return s.jobs }
+
+// Now returns the current simulation time.
+func (s *Sim) Now() sim.Time { return s.now }
+
+// Run advances the simulation to the given absolute time.
+func (s *Sim) Run(until sim.Time) {
+	for s.now < until {
+		s.wakeDueJobs()
+
+		active := s.activeJobs()
+		dt := s.nextBoundary(until, active)
+		if len(active) == 0 {
+			s.now += dt
+			continue
+		}
+
+		rates := s.cfg.Policy.Allocate(s.cfg.Capacity, active)
+		// Constrain dt so no job overshoots its completion.
+		for i, j := range active {
+			if rates[i] <= 0 {
+				continue
+			}
+			finish := sim.FromSeconds(j.commRemaining * 8 / float64(rates[i]))
+			if finish < 1 {
+				finish = 1 // guard against zero-length loops
+			}
+			if finish < dt {
+				dt = finish
+			}
+		}
+
+		for i, j := range active {
+			if rates[i] <= 0 {
+				continue
+			}
+			bytes := float64(rates[i]) / 8 * dt.Seconds()
+			if bytes >= j.commRemaining-1e-6 {
+				bytes = j.commRemaining
+			}
+			j.commRemaining -= bytes
+			j.attained += bytes
+			s.recordTrace(j, s.now, dt, bytes)
+			if j.commRemaining <= 1e-6 {
+				s.finishComm(j, s.now+dt)
+			}
+		}
+		s.now += dt
+	}
+	s.now = until
+}
+
+func (s *Sim) wakeDueJobs() {
+	for _, j := range s.jobs {
+		if (j.phase == phaseIdle || j.phase == phaseCompute) && j.wakeAt <= s.now {
+			j.phase = phaseComm
+			j.commRemaining = j.TotalBytes()
+			j.attained = 0
+			j.CommStarts = append(j.CommStarts, s.now)
+			if n := len(j.CommStarts); n >= 2 {
+				j.IterDurations = append(j.IterDurations, j.CommStarts[n-1]-j.CommStarts[n-2])
+			}
+		}
+	}
+}
+
+func (s *Sim) activeJobs() []*Job {
+	var out []*Job
+	for _, j := range s.jobs {
+		if j.phase == phaseComm {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// nextBoundary returns the interval to the next wake-up or the step limit.
+func (s *Sim) nextBoundary(until sim.Time, active []*Job) sim.Time {
+	dt := until - s.now
+	if len(active) > 0 && s.cfg.Step < dt {
+		dt = s.cfg.Step
+	}
+	for _, j := range s.jobs {
+		if j.phase == phaseIdle || j.phase == phaseCompute {
+			if w := j.wakeAt - s.now; w < dt {
+				dt = w
+			}
+		}
+	}
+	if dt < 1 {
+		dt = 1
+	}
+	return dt
+}
+
+func (s *Sim) finishComm(j *Job, at sim.Time) {
+	j.CommEnds = append(j.CommEnds, at)
+	if j.MaxIterations > 0 && len(j.CommEnds) >= j.MaxIterations {
+		j.phase = phaseDone
+		return
+	}
+	compute := j.Spec.Profile.ComputeTime
+	if j.Spec.NoiseStd > 0 {
+		compute = j.rng.NormDuration(compute, j.Spec.NoiseStd, 0)
+	}
+	j.phase = phaseCompute
+	j.wakeAt = at + compute
+}
+
+func (s *Sim) recordTrace(j *Job, t, dt sim.Time, bytes float64) {
+	if s.cfg.TraceBucket <= 0 {
+		return
+	}
+	idx := int((t + dt/2) / s.cfg.TraceBucket)
+	tr := s.trace[j]
+	for len(tr) <= idx {
+		tr = append(tr, 0)
+	}
+	tr[idx] += bytes
+	s.trace[j] = tr
+}
+
+// Trace returns the job's recorded bandwidth series in bits per second per
+// bucket (empty without TraceBucket).
+func (s *Sim) Trace(j *Job) []units.Rate {
+	bytes := s.trace[j]
+	out := make([]units.Rate, len(bytes))
+	for i, b := range bytes {
+		out[i] = units.Rate(b * 8 / s.cfg.TraceBucket.Seconds())
+	}
+	return out
+}

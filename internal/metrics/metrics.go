@@ -1,0 +1,161 @@
+// Package metrics provides the summary statistics the experiments report:
+// means, percentiles, standard deviations, and empirical CDFs over
+// iteration times and throughput samples.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mltcp/internal/sim"
+)
+
+// Series is a sample collection with summary helpers.
+type Series []float64
+
+// FromTimes converts simulated durations to a Series in seconds.
+func FromTimes(ts []sim.Time) Series {
+	s := make(Series, len(ts))
+	for i, t := range ts {
+		s[i] = t.Seconds()
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Std returns the population standard deviation.
+func (s Series) Std() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s)))
+}
+
+// Min returns the smallest sample (0 for an empty series).
+func (s Series) Min() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample (0 for an empty series).
+func (s Series) Max() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between order statistics. It panics on an empty series or
+// out-of-range p: asking for a percentile of nothing is a harness bug.
+func (s Series) Percentile(p float64) float64 {
+	if len(s) == 0 {
+		panic("metrics: percentile of empty series")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of range", p))
+	}
+	sorted := append(Series(nil), s...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Tail returns the last n samples (or all if fewer), for steady-state
+// measurements that skip the convergence transient.
+func (s Series) Tail(n int) Series {
+	if n >= len(s) {
+		return s
+	}
+	return s[len(s)-n:]
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64 // P(X <= Value)
+}
+
+// CDF returns the empirical distribution of the series, one point per
+// sample, sorted ascending.
+func (s Series) CDF() []CDFPoint {
+	sorted := append(Series(nil), s...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// Summary bundles the usual reporting statistics.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, P50, P95, P99 float64
+	Max                float64
+}
+
+// Summarize computes a Summary (zero Summary for an empty series).
+func (s Series) Summarize() Summary {
+	if len(s) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:    len(s),
+		Mean: s.Mean(),
+		Std:  s.Std(),
+		Min:  s.Min(),
+		P50:  s.Percentile(50),
+		P95:  s.Percentile(95),
+		P99:  s.Percentile(99),
+		Max:  s.Max(),
+	}
+}
+
+// String renders the summary on one line with seconds-scale values.
+func (sm Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.3g min=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+		sm.N, sm.Mean, sm.Std, sm.Min, sm.P50, sm.P95, sm.P99, sm.Max)
+}

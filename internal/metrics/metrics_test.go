@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mltcp/internal/sim"
+)
+
+func TestFromTimes(t *testing.T) {
+	s := FromTimes([]sim.Time{sim.Second, 500 * sim.Millisecond})
+	if s[0] != 1.0 || s[1] != 0.5 {
+		t.Errorf("FromTimes = %v", s)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	s := Series{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.Std(); got != 2 {
+		t.Errorf("Std = %v, want 2", got)
+	}
+	if (Series{}).Mean() != 0 || (Series{1}).Std() != 0 {
+		t.Error("empty/singleton edge cases wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := Series{3, -1, 7, 0}
+	if s.Min() != -1 || s.Max() != 7 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := Series{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2, 75: 4}
+	for p, want := range cases {
+		if got := s.Percentile(p); got != want {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := (Series{1, 2}).Percentile(50); got != 1.5 {
+		t.Errorf("P50 of {1,2} = %v, want 1.5", got)
+	}
+	if got := (Series{42}).Percentile(99); got != 42 {
+		t.Errorf("P99 of singleton = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":        func() { (Series{}).Percentile(50) },
+		"out-of-range": func() { (Series{1}).Percentile(101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTail(t *testing.T) {
+	s := Series{1, 2, 3, 4, 5}
+	if got := s.Tail(2); len(got) != 2 || got[0] != 4 {
+		t.Errorf("Tail(2) = %v", got)
+	}
+	if got := s.Tail(99); len(got) != 5 {
+		t.Errorf("Tail(99) = %v", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	s := Series{5, 1, 3, 3, 2}
+	cdf := s.CDF()
+	if len(cdf) != 5 {
+		t.Fatalf("CDF length = %d", len(cdf))
+	}
+	if cdf[0].Value != 1 || cdf[len(cdf)-1].Fraction != 1.0 {
+		t.Errorf("CDF endpoints wrong: %+v", cdf)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Errorf("CDF not monotone at %d: %+v", i, cdf)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Series{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	sm := s.Summarize()
+	if sm.N != 10 || sm.Mean != 5.5 || sm.Min != 1 || sm.Max != 10 {
+		t.Errorf("Summary = %+v", sm)
+	}
+	if sm.P50 != 5.5 {
+		t.Errorf("P50 = %v, want 5.5", sm.P50)
+	}
+	if (Series{}).Summarize().N != 0 {
+		t.Error("empty summary not zero")
+	}
+	if sm.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: Percentile(0) == Min, Percentile(100) == Max, and percentiles
+// are monotone in p.
+func TestPercentileProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		var s Series
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s = append(s, v)
+			}
+		}
+		if len(s) == 0 {
+			return true
+		}
+		if s.Percentile(0) != s.Min() || s.Percentile(100) != s.Max() {
+			return false
+		}
+		ps := []float64{10, 25, 50, 75, 90}
+		vals := make([]float64, len(ps))
+		for i, p := range ps {
+			vals[i] = s.Percentile(p)
+		}
+		return sort.Float64sAreSorted(vals)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package multires implements §5's generalization of MLTCP beyond the
+// network: the aggressiveness function F(bytes_ratio) becomes F(progress)
+// for any divisible resource (CPU cores in the paper's example). Periodic
+// tasks alternate a resource phase — demanding WorkUnits of a shared
+// resource with finite capacity — and an idle phase; the scheduler assigns
+// each active task a share of the resource proportional to F(progress),
+// which slides competing tasks into an interleaved schedule exactly as the
+// network variant does.
+package multires
+
+import (
+	"fmt"
+	"math"
+
+	"mltcp/internal/core"
+	"mltcp/internal/sim"
+)
+
+// Task is one periodic resource consumer.
+type Task struct {
+	// Name labels the task.
+	Name string
+	// WorkUnits is the resource-time needed per iteration (e.g.
+	// core-seconds).
+	WorkUnits float64
+	// IdleTime is the off-resource phase per iteration (e.g. the I/O or
+	// network phase of a CPU-bound loop).
+	IdleTime sim.Time
+	// StartOffset delays the first resource phase.
+	StartOffset sim.Time
+	// Agg is the aggressiveness function; nil means plain fair sharing.
+	Agg *core.AggFunc
+
+	phase     int // 0 idle-before-start, 1 using, 2 idle
+	remaining float64
+	progress  float64
+	wakeAt    sim.Time
+
+	// PhaseStarts and PhaseEnds record each resource phase;
+	// IterDurations[i] = PhaseStarts[i+1] − PhaseStarts[i].
+	PhaseStarts   []sim.Time
+	PhaseEnds     []sim.Time
+	IterDurations []sim.Time
+}
+
+// Progress returns the completed fraction of the current resource phase.
+func (t *Task) Progress() float64 {
+	return math.Min(1, t.progress/t.WorkUnits)
+}
+
+// Weight returns F(progress), or 1 without an aggressiveness function.
+func (t *Task) Weight() float64 {
+	if t.Agg == nil {
+		return 1
+	}
+	return t.Agg.Eval(t.Progress())
+}
+
+// IdealIterTime returns the task's iteration time with the whole resource
+// to itself.
+func (t *Task) IdealIterTime(capacity float64) sim.Time {
+	return t.IdleTime + sim.FromSeconds(t.WorkUnits/capacity)
+}
+
+// AvgIterTime averages iteration durations after skipping the first skip.
+func (t *Task) AvgIterTime(skip int) sim.Time {
+	if skip >= len(t.IterDurations) {
+		return 0
+	}
+	var sum sim.Time
+	for _, d := range t.IterDurations[skip:] {
+		sum += d
+	}
+	return sum / sim.Time(len(t.IterDurations)-skip)
+}
+
+// Scheduler runs tasks over one shared resource.
+type Scheduler struct {
+	capacity float64 // resource units per second (e.g. cores)
+	step     sim.Time
+	tasks    []*Task
+	now      sim.Time
+}
+
+// NewScheduler creates a scheduler for a resource with the given capacity
+// in units per second.
+func NewScheduler(capacity float64, tasks []*Task) *Scheduler {
+	if capacity <= 0 {
+		panic("multires: capacity must be positive")
+	}
+	if len(tasks) == 0 {
+		panic("multires: no tasks")
+	}
+	for _, t := range tasks {
+		if t.WorkUnits <= 0 || t.IdleTime < 0 {
+			panic(fmt.Sprintf("multires: task %s has invalid shape", t.Name))
+		}
+		t.phase = 0
+		t.wakeAt = t.StartOffset
+	}
+	return &Scheduler{capacity: capacity, step: sim.Millisecond, tasks: tasks}
+}
+
+// Run advances to the given absolute time.
+func (s *Scheduler) Run(until sim.Time) {
+	for s.now < until {
+		for _, t := range s.tasks {
+			if t.phase != 1 && t.wakeAt <= s.now {
+				t.phase = 1
+				t.remaining = t.WorkUnits
+				t.progress = 0
+				t.PhaseStarts = append(t.PhaseStarts, s.now)
+				if n := len(t.PhaseStarts); n >= 2 {
+					t.IterDurations = append(t.IterDurations, t.PhaseStarts[n-1]-t.PhaseStarts[n-2])
+				}
+			}
+		}
+		var active []*Task
+		var wsum float64
+		for _, t := range s.tasks {
+			if t.phase == 1 {
+				active = append(active, t)
+				wsum += t.Weight()
+			}
+		}
+		dt := until - s.now
+		if len(active) > 0 && s.step < dt {
+			dt = s.step
+		}
+		for _, t := range s.tasks {
+			if t.phase != 1 {
+				if w := t.wakeAt - s.now; w > 0 && w < dt {
+					dt = w
+				}
+			}
+		}
+		if len(active) == 0 {
+			if dt < 1 {
+				dt = 1
+			}
+			s.now += dt
+			continue
+		}
+		// Constrain dt to the earliest completion.
+		for _, t := range active {
+			rate := s.capacity * t.Weight() / wsum
+			if finish := sim.FromSeconds(t.remaining / rate); finish >= 1 && finish < dt {
+				dt = finish
+			}
+		}
+		if dt < 1 {
+			dt = 1
+		}
+		for _, t := range active {
+			rate := s.capacity * t.Weight() / wsum
+			done := rate * dt.Seconds()
+			if done >= t.remaining-1e-9 {
+				done = t.remaining
+			}
+			t.remaining -= done
+			t.progress += done
+			if t.remaining <= 1e-9 {
+				t.PhaseEnds = append(t.PhaseEnds, s.now+dt)
+				t.phase = 2
+				t.wakeAt = s.now + dt + t.IdleTime
+			}
+		}
+		s.now += dt
+	}
+	s.now = until
+}

@@ -1,0 +1,121 @@
+package multires
+
+import (
+	"testing"
+
+	"mltcp/internal/core"
+	"mltcp/internal/sim"
+)
+
+func agg() *core.AggFunc {
+	f := core.Default()
+	return &f
+}
+
+// cpuTask: 8-core machine, task needs 3.2 core-seconds (0.4s at full
+// machine) then idles 0.8s: ideal iteration 1.2s.
+func cpuTask(name string, offset sim.Time, a *core.AggFunc) *Task {
+	return &Task{
+		Name:        name,
+		WorkUnits:   3.2,
+		IdleTime:    800 * sim.Millisecond,
+		StartOffset: offset,
+		Agg:         a,
+	}
+}
+
+func TestIsolatedTaskIdealIteration(t *testing.T) {
+	task := cpuTask("t1", 0, nil)
+	s := NewScheduler(8, []*Task{task})
+	s.Run(10 * sim.Second)
+	ideal := task.IdealIterTime(8)
+	if ideal != 1200*sim.Millisecond {
+		t.Fatalf("ideal = %v, want 1.2s", ideal)
+	}
+	if len(task.IterDurations) < 4 {
+		t.Fatalf("too few iterations: %d", len(task.IterDurations))
+	}
+	for i, d := range task.IterDurations {
+		if d < ideal-2*sim.Millisecond || d > ideal+2*sim.Millisecond {
+			t.Errorf("iteration %d = %v, want %v", i, d, ideal)
+		}
+	}
+}
+
+func TestProgressWeightedTasksInterleave(t *testing.T) {
+	// §5: two tasks with a = 1/3 each; progress-based weights should
+	// slide them apart until resource phases are disjoint, restoring
+	// the ideal iteration time — the multi-resource analogue of Fig. 6.
+	t1 := cpuTask("t1", 0, agg())
+	t2 := cpuTask("t2", 10*sim.Millisecond, agg())
+	s := NewScheduler(8, []*Task{t1, t2})
+	s.Run(120 * sim.Second)
+	ideal := t1.IdealIterTime(8)
+	for _, task := range []*Task{t1, t2} {
+		n := len(task.IterDurations)
+		if n < 40 {
+			t.Fatalf("%s: %d iterations", task.Name, n)
+		}
+		var sum sim.Time
+		for _, d := range task.IterDurations[n-10:] {
+			sum += d
+		}
+		avg := sum / 10
+		if avg > ideal+ideal/20 {
+			t.Errorf("%s steady iteration = %v, want within 5%% of %v", task.Name, avg, ideal)
+		}
+	}
+}
+
+func TestFairShareTasksStayCongested(t *testing.T) {
+	t1 := cpuTask("t1", 0, nil)
+	t2 := cpuTask("t2", 10*sim.Millisecond, nil)
+	s := NewScheduler(8, []*Task{t1, t2})
+	s.Run(120 * sim.Second)
+	n := len(t1.IterDurations)
+	var sum sim.Time
+	for _, d := range t1.IterDurations[n-10:] {
+		sum += d
+	}
+	avg := sum / 10
+	// Fair sharing: resource phase takes 0.8s at half speed ->
+	// iteration 1.6s, far above the 1.2s ideal.
+	if avg < 1500*sim.Millisecond {
+		t.Errorf("fair-share iteration = %v, expected to stay ~1.6s", avg)
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero-capacity": func() { NewScheduler(0, []*Task{cpuTask("x", 0, nil)}) },
+		"no-tasks":      func() { NewScheduler(1, nil) },
+		"bad-task":      func() { NewScheduler(1, []*Task{{Name: "x", WorkUnits: 0}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestProgressAndWeight(t *testing.T) {
+	task := cpuTask("t", 0, agg())
+	task.phase = 1
+	task.remaining = 3.2
+	task.progress = 0
+	if w := task.Weight(); w != 0.25 {
+		t.Errorf("weight at progress 0 = %v, want 0.25", w)
+	}
+	task.progress = 3.2
+	if w := task.Weight(); w != 2.0 {
+		t.Errorf("weight at progress 1 = %v, want 2", w)
+	}
+	plain := cpuTask("p", 0, nil)
+	if plain.Weight() != 1 {
+		t.Errorf("plain weight = %v, want 1", plain.Weight())
+	}
+}

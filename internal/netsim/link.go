@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"fmt"
+
+	"mltcp/internal/sim"
+	"mltcp/internal/units"
+)
+
+// LinkStats are cumulative counters for one link.
+type LinkStats struct {
+	PacketsSent    int64
+	PacketsDropped int64
+	PacketsLost    int64 // random wire loss (LossProb), distinct from queue drops
+	BytesSent      int64
+}
+
+// Link is a unidirectional link: packets entering via Send are queued by the
+// discipline, serialized one at a time at Rate, and delivered to the
+// destination Receiver after the propagation Delay. An optional i.i.d. loss
+// probability models a lossy wire for the §5 fairness experiment.
+type Link struct {
+	eng   *sim.Engine
+	name  string
+	rate  units.Rate
+	delay sim.Time
+	queue Queue
+	dst   Receiver
+
+	// LossProb is the probability that a serialized packet is lost on
+	// the wire. Requires a non-nil RNG when positive.
+	LossProb float64
+	// JitterStd adds zero-mean Gaussian jitter to each packet's
+	// propagation delay (|delay + noise|, floored at zero), modeling
+	// the RTT variation §3.1's requirement (i) says the aggressiveness
+	// function's range must absorb. Arrival order is preserved: a FIFO
+	// link never reorders, so jittered arrivals are clamped monotone.
+	JitterStd sim.Time
+	// RNG drives random loss and jitter; per-link so streams are
+	// independent.
+	RNG *sim.RNG
+
+	busy        bool
+	lastArrival sim.Time
+	stats       LinkStats
+	taps        []Tap
+}
+
+// Tap observes every packet the link finishes serializing (before any
+// random loss), with the time serialization completed. Bandwidth monitors
+// attach here.
+type Tap func(now sim.Time, p *Packet)
+
+// NewLink creates a link feeding dst. The queue discipline must not be
+// shared between links.
+func NewLink(eng *sim.Engine, name string, rate units.Rate, delay sim.Time, queue Queue, dst Receiver) *Link {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netsim: link %s with non-positive rate", name))
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("netsim: link %s with negative delay", name))
+	}
+	l := &Link{eng: eng, name: name, rate: rate, delay: delay, queue: queue, dst: dst}
+	queue.SetDropCallback(func(*Packet) { l.stats.PacketsDropped++ })
+	return l
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Rate returns the link's serialization rate.
+func (l *Link) Rate() units.Rate { return l.rate }
+
+// Delay returns the link's propagation delay.
+func (l *Link) Delay() sim.Time { return l.delay }
+
+// Queue exposes the link's queue discipline (read-mostly; used by tests and
+// monitors).
+func (l *Link) Queue() Queue { return l.queue }
+
+// Stats returns a snapshot of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// AddTap registers an observer for serialized packets.
+func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// Send implements Receiver so that links can be targets of other components
+// directly; it enqueues the packet and kicks serialization if idle.
+func (l *Link) Send(p *Packet) {
+	if !l.queue.Enqueue(p) {
+		return // dropped; counted via the queue's callback
+	}
+	if !l.busy {
+		l.startTransmission()
+	}
+}
+
+// Receive implements Receiver.
+func (l *Link) Receive(_ *sim.Engine, p *Packet) { l.Send(p) }
+
+func (l *Link) startTransmission() {
+	p := l.queue.Dequeue()
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	txTime := l.rate.TransmissionTime(int64(p.WireSize()))
+	l.eng.After(txTime, func(e *sim.Engine) {
+		l.stats.PacketsSent++
+		l.stats.BytesSent += int64(p.WireSize())
+		for _, tap := range l.taps {
+			tap(e.Now(), p)
+		}
+		if l.LossProb > 0 && l.RNG != nil && l.RNG.Float64() < l.LossProb {
+			l.stats.PacketsLost++
+		} else {
+			delay := l.delay
+			if l.JitterStd > 0 && l.RNG != nil {
+				delay = l.RNG.NormDuration(l.delay, l.JitterStd, 0)
+			}
+			arrival := e.Now() + delay
+			if arrival <= l.lastArrival {
+				arrival = l.lastArrival + 1
+			}
+			l.lastArrival = arrival
+			e.At(arrival, func(e2 *sim.Engine) {
+				l.dst.Receive(e2, p)
+			})
+		}
+		l.startTransmission()
+	})
+}

@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"mltcp/internal/sim"
+	"mltcp/internal/units"
+)
+
+// BandwidthMonitor samples a link's transmitted bytes into fixed-width time
+// buckets, per flow and in total. It reproduces the paper's bandwidth-
+// allocation plots (Figures 2, 4, 6).
+type BandwidthMonitor struct {
+	bucket  sim.Time
+	perFlow map[FlowID][]int64
+	total   []int64
+}
+
+// NewBandwidthMonitor attaches a monitor to the link with the given bucket
+// width.
+func NewBandwidthMonitor(l *Link, bucket sim.Time) *BandwidthMonitor {
+	if bucket <= 0 {
+		panic("netsim: monitor bucket must be positive")
+	}
+	m := &BandwidthMonitor{bucket: bucket, perFlow: make(map[FlowID][]int64)}
+	l.AddTap(func(now sim.Time, p *Packet) {
+		if p.Ack {
+			return // ACK bytes are noise on bandwidth plots
+		}
+		idx := int(now / m.bucket)
+		m.perFlow[p.Flow] = grow(m.perFlow[p.Flow], idx)
+		m.perFlow[p.Flow][idx] += int64(p.WireSize())
+		m.total = grow(m.total, idx)
+		m.total[idx] += int64(p.WireSize())
+	})
+	return m
+}
+
+func grow(s []int64, idx int) []int64 {
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// Bucket returns the bucket width.
+func (m *BandwidthMonitor) Bucket() sim.Time { return m.bucket }
+
+// Flows returns the flow IDs observed, in ascending order.
+func (m *BandwidthMonitor) Flows() []FlowID {
+	var ids []FlowID
+	for id := range m.perFlow {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// FlowSeries returns the flow's throughput per bucket, in bits per second.
+func (m *BandwidthMonitor) FlowSeries(f FlowID) []units.Rate {
+	return toRates(m.perFlow[f], m.bucket)
+}
+
+// TotalSeries returns the link's total throughput per bucket.
+func (m *BandwidthMonitor) TotalSeries() []units.Rate {
+	return toRates(m.total, m.bucket)
+}
+
+func toRates(bytes []int64, bucket sim.Time) []units.Rate {
+	out := make([]units.Rate, len(bytes))
+	for i, b := range bytes {
+		out[i] = units.Rate(float64(b) * 8 / bucket.Seconds())
+	}
+	return out
+}
+
+// FlowBytes returns the cumulative non-ACK bytes the link carried for f.
+func (m *BandwidthMonitor) FlowBytes(f FlowID) int64 {
+	var sum int64
+	for _, b := range m.perFlow[f] {
+		sum += b
+	}
+	return sum
+}

@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"fmt"
+
+	"mltcp/internal/sim"
+)
+
+// Switch forwards packets by destination NodeID over per-destination links.
+type Switch struct {
+	id     NodeID
+	name   string
+	routes map[NodeID]*Link
+}
+
+// NewSwitch creates an empty switch.
+func NewSwitch(id NodeID, name string) *Switch {
+	return &Switch{id: id, name: name, routes: make(map[NodeID]*Link)}
+}
+
+// ID returns the switch's node ID.
+func (s *Switch) ID() NodeID { return s.id }
+
+// AddRoute directs traffic for dst out of the given link. Later calls for
+// the same destination replace the route.
+func (s *Switch) AddRoute(dst NodeID, l *Link) { s.routes[dst] = l }
+
+// Receive implements Receiver.
+func (s *Switch) Receive(_ *sim.Engine, p *Packet) {
+	l, ok := s.routes[p.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: switch %s has no route to node %d (flow %d)", s.name, p.Dst, p.Flow))
+	}
+	l.Send(p)
+}
+
+// Endpoint is a transport-layer attachment on a host: the host dispatches
+// arriving packets for the endpoint's flow to it.
+type Endpoint interface {
+	HandlePacket(eng *sim.Engine, p *Packet)
+}
+
+// Host is an end node. Outbound packets go out its uplink; inbound packets
+// are dispatched to the endpoint registered for their flow.
+type Host struct {
+	id        NodeID
+	name      string
+	uplink    *Link
+	endpoints map[FlowID]Endpoint
+}
+
+// NewHost creates a host. The uplink is attached later with SetUplink so
+// hosts and links (which need a destination Receiver) can be built in
+// either order.
+func NewHost(id NodeID, name string) *Host {
+	return &Host{id: id, name: name, endpoints: make(map[FlowID]Endpoint)}
+}
+
+// ID returns the host's node ID.
+func (h *Host) ID() NodeID { return h.id }
+
+// Name returns the host's diagnostic name.
+func (h *Host) Name() string { return h.name }
+
+// SetUplink attaches the host's outbound link.
+func (h *Host) SetUplink(l *Link) { h.uplink = l }
+
+// Uplink returns the host's outbound link.
+func (h *Host) Uplink() *Link { return h.uplink }
+
+// Attach registers the endpoint handling the given flow. Attaching a second
+// endpoint for the same flow panics: it is always a wiring bug.
+func (h *Host) Attach(flow FlowID, ep Endpoint) {
+	if _, dup := h.endpoints[flow]; dup {
+		panic(fmt.Sprintf("netsim: host %s already has an endpoint for flow %d", h.name, flow))
+	}
+	h.endpoints[flow] = ep
+}
+
+// Send transmits a packet out the host's uplink, stamping the source.
+func (h *Host) Send(p *Packet) {
+	if h.uplink == nil {
+		panic(fmt.Sprintf("netsim: host %s has no uplink", h.name))
+	}
+	p.Src = h.id
+	h.uplink.Send(p)
+}
+
+// Receive implements Receiver, dispatching to the flow's endpoint. Packets
+// for unknown flows panic: the simulator never produces stray traffic, so
+// an unknown flow is a wiring bug.
+func (h *Host) Receive(eng *sim.Engine, p *Packet) {
+	ep, ok := h.endpoints[p.Flow]
+	if !ok {
+		panic(fmt.Sprintf("netsim: host %s received packet for unknown flow %d", h.name, p.Flow))
+	}
+	ep.HandlePacket(eng, p)
+}

@@ -1,0 +1,80 @@
+// Package netsim is a packet-level network simulator: hosts and switches
+// connected by unidirectional links with finite rate, propagation delay, and
+// a pluggable queue discipline (drop-tail FIFO, pFabric remaining-size
+// priority, strict-priority bands for PIAS, with optional ECN marking and
+// random loss). It provides the substrate over which the transport layer
+// (internal/tcp) and MLTCP (internal/core) run.
+package netsim
+
+import "mltcp/internal/sim"
+
+// HeaderBytes is the protocol overhead carried by every packet (IP + TCP
+// headers, as on the paper's testbed with a 1500-byte MTU).
+const HeaderBytes = 40
+
+// DefaultMTU is the maximum packet size on the wire, matching Algorithm 1's
+// MTU constant.
+const DefaultMTU = 1500
+
+// MaxPayload is the data payload that fits in one MTU-sized packet.
+const MaxPayload = DefaultMTU - HeaderBytes
+
+// NodeID identifies a host or switch within one topology.
+type NodeID int
+
+// FlowID identifies a transport flow end to end. IDs are assigned by the
+// transport layer and are unique within a simulation.
+type FlowID int
+
+// Packet is a simulated segment. Packets are allocated per transmission and
+// never mutated after being handed to a link, except by explicit queue
+// disciplines (ECN marking).
+type Packet struct {
+	Flow FlowID
+	Src  NodeID
+	Dst  NodeID
+
+	// Seq is the byte offset of the first payload byte (data packets).
+	Seq int64
+	// Payload is the number of data bytes carried (0 for pure ACKs).
+	Payload int
+	// Ack indicates a pure acknowledgment.
+	Ack bool
+	// AckNo is the cumulative acknowledgment: the next byte expected.
+	AckNo int64
+	// AckedPackets is the number of full packets newly acknowledged by
+	// this ACK, the num_acks input to Algorithm 1 (cumulative ACKs may
+	// cover several packets).
+	AckedPackets int
+
+	// Prio is the scheduling priority used by priority queue disciplines.
+	// For pFabric it is the flow's remaining bytes in the current
+	// iteration: lower values dequeue first.
+	Prio int64
+	// Band is the strict-priority band for PIAS-style MLFQ tagging
+	// (0 = highest priority).
+	Band int
+
+	// ECNCapable marks the flow as ECN-capable; only such packets are
+	// marked rather than dropped by ECN-enabled queues.
+	ECNCapable bool
+	// ECNMarked is set by a queue whose occupancy exceeded its marking
+	// threshold (congestion experienced).
+	ECNMarked bool
+	// ECNEcho is set on ACKs echoing a mark back to the sender.
+	ECNEcho bool
+
+	// SentAt is the time the sender originated the packet; the receiver
+	// copies it into the ACK so the sender can measure RTT without a
+	// global map.
+	SentAt sim.Time
+}
+
+// WireSize returns the packet's size on the wire in bytes.
+func (p *Packet) WireSize() int { return p.Payload + HeaderBytes }
+
+// Receiver is anything that can accept a delivered packet: hosts, switches,
+// and transport endpoints all implement it.
+type Receiver interface {
+	Receive(eng *sim.Engine, p *Packet)
+}

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"fmt"
+
+	"mltcp/internal/sim"
+	"mltcp/internal/units"
+)
+
+// ParkingLotConfig describes a chain of switches with hosts hanging off
+// each one — the classic multi-bottleneck topology. A flow between hosts
+// on different switches traverses every inter-switch link between them, so
+// long flows compete with single-hop cross traffic on each segment.
+type ParkingLotConfig struct {
+	// Switches is the chain length (>= 2).
+	Switches int
+	// HostsPerSwitch attaches this many hosts to every switch.
+	HostsPerSwitch int
+
+	// HostRate is the edge-link rate; TrunkRate the inter-switch rate
+	// (the contended links).
+	HostRate  units.Rate
+	TrunkRate units.Rate
+
+	HostDelay  sim.Time
+	TrunkDelay sim.Time
+
+	// TrunkQueue builds each inter-switch queue (nil: drop-tail of
+	// DefaultQueuePackets).
+	TrunkQueue func() Queue
+	// EdgeQueuePackets sizes the uncontended edge queues (0: 4096).
+	EdgeQueuePackets int
+}
+
+// ParkingLot is the built chain.
+type ParkingLot struct {
+	// Switches in chain order.
+	Switches []*Switch
+	// Hosts[s][h] is host h on switch s.
+	Hosts [][]*Host
+	// Fwd[i] carries traffic from switch i to switch i+1; Rev[i] the
+	// opposite direction. These are the contended trunks.
+	Fwd []*Link
+	Rev []*Link
+}
+
+// NewParkingLot builds the topology with any-to-any routing along the
+// chain.
+func NewParkingLot(eng *sim.Engine, cfg ParkingLotConfig) *ParkingLot {
+	if cfg.Switches < 2 {
+		panic("netsim: parking lot needs at least 2 switches")
+	}
+	if cfg.HostsPerSwitch < 1 {
+		panic("netsim: parking lot needs at least 1 host per switch")
+	}
+	if cfg.EdgeQueuePackets == 0 {
+		cfg.EdgeQueuePackets = 4096
+	}
+	edgeQueue := func() Queue { return NewDropTail(int64(cfg.EdgeQueuePackets) * DefaultMTU) }
+	trunkQueue := cfg.TrunkQueue
+	if trunkQueue == nil {
+		trunkQueue = func() Queue { return NewDropTail(DefaultQueuePackets * DefaultMTU) }
+	}
+
+	p := &ParkingLot{}
+	nextID := NodeID(0)
+	id := func() NodeID { nextID++; return nextID - 1 }
+
+	for s := 0; s < cfg.Switches; s++ {
+		p.Switches = append(p.Switches, NewSwitch(id(), fmt.Sprintf("sw-%d", s)))
+	}
+	for s := 0; s < cfg.Switches-1; s++ {
+		p.Fwd = append(p.Fwd, NewLink(eng, fmt.Sprintf("trunk-%d-%d", s, s+1),
+			cfg.TrunkRate, cfg.TrunkDelay, trunkQueue(), p.Switches[s+1]))
+		p.Rev = append(p.Rev, NewLink(eng, fmt.Sprintf("trunk-%d-%d", s+1, s),
+			cfg.TrunkRate, cfg.TrunkDelay, trunkQueue(), p.Switches[s]))
+	}
+
+	for s := 0; s < cfg.Switches; s++ {
+		var hosts []*Host
+		for h := 0; h < cfg.HostsPerSwitch; h++ {
+			host := NewHost(id(), fmt.Sprintf("h%d-%d", s, h))
+			host.SetUplink(NewLink(eng, host.Name()+"-up", cfg.HostRate, cfg.HostDelay, edgeQueue(), p.Switches[s]))
+			p.Switches[s].AddRoute(host.ID(), NewLink(eng, host.Name()+"-down",
+				cfg.HostRate, cfg.HostDelay, edgeQueue(), host))
+			hosts = append(hosts, host)
+		}
+		p.Hosts = append(p.Hosts, hosts)
+	}
+
+	// Chain routing: every switch forwards traffic for any non-local
+	// host toward its segment (left or right along the chain).
+	for s := 0; s < cfg.Switches; s++ {
+		for other := 0; other < cfg.Switches; other++ {
+			if other == s {
+				continue
+			}
+			var next *Link
+			if other > s {
+				next = p.Fwd[s]
+			} else {
+				next = p.Rev[s-1]
+			}
+			for _, host := range hostsOf(p, other) {
+				p.Switches[s].AddRoute(host.ID(), next)
+			}
+		}
+	}
+	return p
+}
+
+func hostsOf(p *ParkingLot, s int) []*Host { return p.Hosts[s] }
+
+// Host returns host h on switch s.
+func (p *ParkingLot) Host(s, h int) *Host { return p.Hosts[s][h] }

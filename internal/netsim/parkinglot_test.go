@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"testing"
+
+	"mltcp/internal/sim"
+	"mltcp/internal/units"
+)
+
+func testParkingLot(eng *sim.Engine, switches, hosts int) *ParkingLot {
+	return NewParkingLot(eng, ParkingLotConfig{
+		Switches:       switches,
+		HostsPerSwitch: hosts,
+		HostRate:       10 * units.Gbps,
+		TrunkRate:      1 * units.Gbps,
+		HostDelay:      5 * sim.Microsecond,
+		TrunkDelay:     20 * sim.Microsecond,
+	})
+}
+
+func TestParkingLotMultiHopDelivery(t *testing.T) {
+	eng := sim.New()
+	p := testParkingLot(eng, 4, 2)
+	ep := &echoEndpoint{}
+	p.Host(3, 1).Attach(9, ep)
+	// From the first switch's host to the last: traverses 3 trunks.
+	p.Host(0, 0).Send(&Packet{Flow: 9, Dst: p.Host(3, 1).ID(), Payload: 1000})
+	eng.Run()
+	if ep.got != 1 {
+		t.Fatalf("delivered %d, want 1", ep.got)
+	}
+	for i, l := range p.Fwd {
+		if l.Stats().PacketsSent != 1 {
+			t.Errorf("trunk %d carried %d packets, want 1", i, l.Stats().PacketsSent)
+		}
+	}
+}
+
+func TestParkingLotReverseDelivery(t *testing.T) {
+	eng := sim.New()
+	p := testParkingLot(eng, 3, 1)
+	ep := &echoEndpoint{}
+	p.Host(0, 0).Attach(5, ep)
+	p.Host(2, 0).Send(&Packet{Flow: 5, Dst: p.Host(0, 0).ID(), Ack: true})
+	eng.Run()
+	if ep.got != 1 {
+		t.Fatalf("delivered %d, want 1", ep.got)
+	}
+	for i, l := range p.Rev {
+		if l.Stats().PacketsSent != 1 {
+			t.Errorf("reverse trunk %d carried %d, want 1", i, l.Stats().PacketsSent)
+		}
+	}
+}
+
+func TestParkingLotLocalTrafficStaysLocal(t *testing.T) {
+	eng := sim.New()
+	p := testParkingLot(eng, 3, 2)
+	ep := &echoEndpoint{}
+	p.Host(1, 1).Attach(3, ep)
+	p.Host(1, 0).Send(&Packet{Flow: 3, Dst: p.Host(1, 1).ID(), Payload: 100})
+	eng.Run()
+	if ep.got != 1 {
+		t.Fatal("local delivery failed")
+	}
+	for i, l := range append(append([]*Link{}, p.Fwd...), p.Rev...) {
+		if l.Stats().PacketsSent != 0 {
+			t.Errorf("trunk %d carried local traffic", i)
+		}
+	}
+}
+
+func TestParkingLotSegmentIsolation(t *testing.T) {
+	eng := sim.New()
+	p := testParkingLot(eng, 3, 2)
+	// Flow A: sw0 -> sw1 (first trunk only). Flow B: sw1 -> sw2
+	// (second trunk only).
+	p.Host(1, 0).Attach(1, &echoEndpoint{})
+	p.Host(2, 0).Attach(2, &echoEndpoint{})
+	for i := 0; i < 10; i++ {
+		p.Host(0, 0).Send(&Packet{Flow: 1, Dst: p.Host(1, 0).ID(), Payload: 1000})
+		p.Host(1, 1).Send(&Packet{Flow: 2, Dst: p.Host(2, 0).ID(), Payload: 1000})
+	}
+	eng.Run()
+	if got := p.Fwd[0].Stats().PacketsSent; got != 10 {
+		t.Errorf("trunk 0 carried %d, want 10", got)
+	}
+	if got := p.Fwd[1].Stats().PacketsSent; got != 10 {
+		t.Errorf("trunk 1 carried %d, want 10", got)
+	}
+}
+
+func TestParkingLotValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"one-switch": func() { testParkingLot(sim.New(), 1, 1) },
+		"no-hosts":   func() { testParkingLot(sim.New(), 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

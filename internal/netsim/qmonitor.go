@@ -1,0 +1,55 @@
+package netsim
+
+import (
+	"mltcp/internal/sim"
+)
+
+// QueueMonitor samples a link's queue occupancy at a fixed interval —
+// the instrument behind "DCTCP/Swift keep the queue short" style results.
+type QueueMonitor struct {
+	samples []int64
+}
+
+// NewQueueMonitor samples the link's queue every interval from `from`
+// until `until` (exclusive).
+func NewQueueMonitor(eng *sim.Engine, l *Link, interval, from, until sim.Time) *QueueMonitor {
+	if interval <= 0 {
+		panic("netsim: queue monitor interval must be positive")
+	}
+	if until <= from {
+		panic("netsim: queue monitor window is empty")
+	}
+	m := &QueueMonitor{}
+	for ts := from; ts < until; ts += interval {
+		eng.At(ts, func(*sim.Engine) {
+			m.samples = append(m.samples, l.Queue().Bytes())
+		})
+	}
+	return m
+}
+
+// Samples returns the recorded occupancies in bytes.
+func (m *QueueMonitor) Samples() []int64 { return m.samples }
+
+// Max returns the largest sample (0 when empty).
+func (m *QueueMonitor) Max() int64 {
+	var mx int64
+	for _, s := range m.samples {
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// Mean returns the average occupancy in bytes (0 when empty).
+func (m *QueueMonitor) Mean() float64 {
+	if len(m.samples) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, s := range m.samples {
+		sum += s
+	}
+	return float64(sum) / float64(len(m.samples))
+}

@@ -1,0 +1,237 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func dataPkt(flow FlowID, payload int, prio int64) *Packet {
+	return &Packet{Flow: flow, Payload: payload, Prio: prio}
+}
+
+func TestDropTailFIFO(t *testing.T) {
+	q := NewDropTail(10 * DefaultMTU)
+	for i := 0; i < 3; i++ {
+		if !q.Enqueue(dataPkt(FlowID(i), 100, 0)) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		p := q.Dequeue()
+		if p == nil || p.Flow != FlowID(i) {
+			t.Fatalf("dequeue %d = %v, want flow %d", i, p, i)
+		}
+	}
+	if q.Dequeue() != nil {
+		t.Error("dequeue of empty queue returned a packet")
+	}
+}
+
+func TestDropTailCapacity(t *testing.T) {
+	q := NewDropTail(2 * DefaultMTU)
+	drops := 0
+	q.SetDropCallback(func(*Packet) { drops++ })
+	full := dataPkt(1, MaxPayload, 0)
+	if !q.Enqueue(full) || !q.Enqueue(dataPkt(1, MaxPayload, 0)) {
+		t.Fatal("first two MTU packets rejected")
+	}
+	if q.Enqueue(dataPkt(1, MaxPayload, 0)) {
+		t.Error("third packet accepted beyond capacity")
+	}
+	if drops != 1 {
+		t.Errorf("drops = %d, want 1", drops)
+	}
+	if q.Len() != 2 || q.Bytes() != 2*DefaultMTU {
+		t.Errorf("Len=%d Bytes=%d, want 2/%d", q.Len(), q.Bytes(), 2*DefaultMTU)
+	}
+}
+
+func TestDropTailByteAccounting(t *testing.T) {
+	q := NewDropTail(100 * DefaultMTU)
+	q.Enqueue(dataPkt(1, 500, 0))
+	q.Enqueue(dataPkt(1, 960, 0))
+	want := int64(500+HeaderBytes) + int64(960+HeaderBytes)
+	if q.Bytes() != want {
+		t.Errorf("Bytes = %d, want %d", q.Bytes(), want)
+	}
+	q.Dequeue()
+	if q.Bytes() != int64(960+HeaderBytes) {
+		t.Errorf("Bytes after dequeue = %d", q.Bytes())
+	}
+}
+
+func TestECNQueueMarksOverThreshold(t *testing.T) {
+	q := NewECNQueue(NewDropTail(100*DefaultMTU), 2*DefaultMTU)
+	// Below threshold: no mark.
+	p1 := dataPkt(1, MaxPayload, 0)
+	p1.ECNCapable = true
+	q.Enqueue(p1)
+	if p1.ECNMarked {
+		t.Error("packet marked below threshold")
+	}
+	p2 := dataPkt(1, MaxPayload, 0)
+	p2.ECNCapable = true
+	q.Enqueue(p2)
+	if p2.ECNMarked {
+		t.Error("packet marked below threshold (1 queued)")
+	}
+	// Now occupancy = 2 MTU >= threshold: mark.
+	p3 := dataPkt(1, MaxPayload, 0)
+	p3.ECNCapable = true
+	q.Enqueue(p3)
+	if !p3.ECNMarked {
+		t.Error("packet not marked at threshold")
+	}
+	// Non-capable packets are never marked.
+	p4 := dataPkt(1, MaxPayload, 0)
+	q.Enqueue(p4)
+	if p4.ECNMarked {
+		t.Error("non-ECN-capable packet marked")
+	}
+}
+
+func TestPFabricDequeuesSmallestRemaining(t *testing.T) {
+	q := NewPFabricQueue(100 * DefaultMTU)
+	q.Enqueue(dataPkt(1, 100, 5000))
+	q.Enqueue(dataPkt(2, 100, 100))
+	q.Enqueue(dataPkt(3, 100, 2000))
+	order := []FlowID{2, 3, 1}
+	for _, want := range order {
+		p := q.Dequeue()
+		if p.Flow != want {
+			t.Fatalf("dequeue = flow %d, want %d", p.Flow, want)
+		}
+	}
+}
+
+func TestPFabricFIFOAmongEqualPriority(t *testing.T) {
+	q := NewPFabricQueue(100 * DefaultMTU)
+	for i := 0; i < 5; i++ {
+		p := dataPkt(7, 100, 1000)
+		p.Seq = int64(i)
+		q.Enqueue(p)
+	}
+	for i := 0; i < 5; i++ {
+		if p := q.Dequeue(); p.Seq != int64(i) {
+			t.Fatalf("equal-priority order broken: got seq %d, want %d", p.Seq, i)
+		}
+	}
+}
+
+func TestPFabricPreemptiveDrop(t *testing.T) {
+	q := NewPFabricQueue(2 * DefaultMTU)
+	var dropped []FlowID
+	q.SetDropCallback(func(p *Packet) { dropped = append(dropped, p.Flow) })
+	q.Enqueue(dataPkt(1, MaxPayload, 9000)) // big remaining
+	q.Enqueue(dataPkt(2, MaxPayload, 100))  // urgent
+	// Queue full. An even more urgent arrival must evict flow 1.
+	if !q.Enqueue(dataPkt(3, MaxPayload, 50)) {
+		t.Fatal("urgent arrival rejected; should evict the least-urgent queued packet")
+	}
+	if len(dropped) != 1 || dropped[0] != 1 {
+		t.Fatalf("dropped = %v, want [1]", dropped)
+	}
+	// A less urgent arrival than everything queued is itself dropped.
+	if q.Enqueue(dataPkt(4, MaxPayload, 99999)) {
+		t.Error("least-urgent arrival accepted into a full queue")
+	}
+	if got := q.Dequeue().Flow; got != 3 {
+		t.Errorf("head = flow %d, want 3", got)
+	}
+}
+
+func TestStrictPriorityBands(t *testing.T) {
+	q := NewStrictPriorityQueue(3, 100*DefaultMTU)
+	low := dataPkt(1, 100, 0)
+	low.Band = 2
+	mid := dataPkt(2, 100, 0)
+	mid.Band = 1
+	high := dataPkt(3, 100, 0)
+	high.Band = 0
+	q.Enqueue(low)
+	q.Enqueue(mid)
+	q.Enqueue(high)
+	for _, want := range []FlowID{3, 2, 1} {
+		if p := q.Dequeue(); p.Flow != want {
+			t.Fatalf("got flow %d, want %d", p.Flow, want)
+		}
+	}
+}
+
+func TestStrictPriorityBandClamping(t *testing.T) {
+	q := NewStrictPriorityQueue(2, 100*DefaultMTU)
+	p := dataPkt(1, 100, 0)
+	p.Band = 99
+	if !q.Enqueue(p) {
+		t.Fatal("out-of-range band rejected")
+	}
+	neg := dataPkt(2, 100, 0)
+	neg.Band = -1
+	q.Enqueue(neg)
+	if got := q.Dequeue().Flow; got != 2 {
+		t.Errorf("negative band should clamp to band 0 (highest), got flow %d first", got)
+	}
+}
+
+func TestStrictPriorityOverflow(t *testing.T) {
+	q := NewStrictPriorityQueue(2, 1*DefaultMTU)
+	drops := 0
+	q.SetDropCallback(func(*Packet) { drops++ })
+	q.Enqueue(dataPkt(1, MaxPayload, 0))
+	if q.Enqueue(dataPkt(2, MaxPayload, 0)) {
+		t.Error("overflow packet accepted")
+	}
+	if drops != 1 {
+		t.Errorf("drops = %d, want 1", drops)
+	}
+}
+
+// Property: for any enqueue pattern within capacity, pFabric conserves
+// packets and Bytes() matches the sum of queued wire sizes.
+func TestPFabricConservationProperty(t *testing.T) {
+	prop := func(prios []uint16) bool {
+		q := NewPFabricQueue(1 << 30)
+		for i, pr := range prios {
+			q.Enqueue(dataPkt(FlowID(i), 100, int64(pr)))
+		}
+		if q.Len() != len(prios) {
+			return false
+		}
+		var want int64 = int64(len(prios)) * int64(100+HeaderBytes)
+		if q.Bytes() != want {
+			return false
+		}
+		// Dequeue all: priorities must come out nondecreasing.
+		last := int64(-1)
+		for q.Len() > 0 {
+			p := q.Dequeue()
+			if p.Prio < last {
+				return false
+			}
+			last = p.Prio
+		}
+		return q.Bytes() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"droptail-zero":  func() { NewDropTail(0) },
+		"pfabric-zero":   func() { NewPFabricQueue(0) },
+		"strict-0-bands": func() { NewStrictPriorityQueue(0, 100) },
+		"strict-0-cap":   func() { NewStrictPriorityQueue(2, 0) },
+		"ecn-0-thresh":   func() { NewECNQueue(NewDropTail(1), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"testing"
+
+	"mltcp/internal/sim"
+	"mltcp/internal/units"
+)
+
+// echoEndpoint counts received data packets and acks nothing.
+type echoEndpoint struct {
+	got int
+	eng *sim.Engine
+}
+
+func (e *echoEndpoint) HandlePacket(_ *sim.Engine, p *Packet) { e.got++ }
+
+func testDumbbell(eng *sim.Engine, pairs int) *Dumbbell {
+	return NewDumbbell(eng, DumbbellConfig{
+		HostPairs:       pairs,
+		HostRate:        10 * units.Gbps,
+		BottleneckRate:  1 * units.Gbps,
+		HostDelay:       5 * sim.Microsecond,
+		BottleneckDelay: 20 * sim.Microsecond,
+	})
+}
+
+func TestDumbbellForwardDelivery(t *testing.T) {
+	eng := sim.New()
+	d := testDumbbell(eng, 2)
+	ep := &echoEndpoint{}
+	d.Right[1].Attach(42, ep)
+	d.Left[0].Send(&Packet{Flow: 42, Dst: d.Right[1].ID(), Payload: 1000})
+	eng.Run()
+	if ep.got != 1 {
+		t.Fatalf("endpoint received %d packets, want 1", ep.got)
+	}
+	if d.Forward.Stats().PacketsSent != 1 {
+		t.Errorf("bottleneck carried %d packets, want 1", d.Forward.Stats().PacketsSent)
+	}
+}
+
+func TestDumbbellReverseDelivery(t *testing.T) {
+	eng := sim.New()
+	d := testDumbbell(eng, 1)
+	ep := &echoEndpoint{}
+	d.Left[0].Attach(7, ep)
+	d.Right[0].Send(&Packet{Flow: 7, Dst: d.Left[0].ID(), Ack: true})
+	eng.Run()
+	if ep.got != 1 {
+		t.Fatalf("left endpoint received %d, want 1", ep.got)
+	}
+	if d.Reverse.Stats().PacketsSent != 1 {
+		t.Errorf("reverse bottleneck carried %d, want 1", d.Reverse.Stats().PacketsSent)
+	}
+}
+
+func TestDumbbellEndToEndLatency(t *testing.T) {
+	eng := sim.New()
+	d := testDumbbell(eng, 1)
+	var arrival sim.Time
+	done := func(e *sim.Engine, p *Packet) { arrival = e.Now() }
+	d.Right[0].Attach(1, endpointFunc(done))
+	d.Left[0].Send(&Packet{Flow: 1, Dst: d.Right[0].ID(), Payload: MaxPayload})
+	eng.Run()
+	// Path: host uplink (10G: 1.2µs + 5µs) -> bottleneck (1G: 12µs +
+	// 20µs) -> host downlink (10G: 1.2µs + 5µs) = 44.4µs.
+	want := sim.Time(44400)
+	if arrival != want {
+		t.Errorf("arrival = %v, want %v", arrival, want)
+	}
+}
+
+type endpointFunc func(*sim.Engine, *Packet)
+
+func (f endpointFunc) HandlePacket(e *sim.Engine, p *Packet) { f(e, p) }
+
+func TestDumbbellSharedBottleneck(t *testing.T) {
+	eng := sim.New()
+	d := testDumbbell(eng, 3)
+	for i := 0; i < 3; i++ {
+		d.Right[i].Attach(FlowID(i), &echoEndpoint{})
+	}
+	// All three left hosts blast packets; everything funnels through the
+	// single forward bottleneck.
+	for i := 0; i < 3; i++ {
+		for k := 0; k < 10; k++ {
+			d.Left[i].Send(&Packet{Flow: FlowID(i), Dst: d.Right[i].ID(), Payload: 1000})
+		}
+	}
+	eng.Run()
+	if got := d.Forward.Stats().PacketsSent; got != 30 {
+		t.Errorf("bottleneck carried %d packets, want 30", got)
+	}
+}
+
+func TestHostAttachDuplicatePanics(t *testing.T) {
+	h := NewHost(1, "h")
+	h.Attach(1, &echoEndpoint{})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Attach did not panic")
+		}
+	}()
+	h.Attach(1, &echoEndpoint{})
+}
+
+func TestHostUnknownFlowPanics(t *testing.T) {
+	eng := sim.New()
+	h := NewHost(1, "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown flow did not panic")
+		}
+	}()
+	h.Receive(eng, &Packet{Flow: 99})
+}
+
+func TestSwitchNoRoutePanics(t *testing.T) {
+	eng := sim.New()
+	s := NewSwitch(1, "s")
+	defer func() {
+		if recover() == nil {
+			t.Error("missing route did not panic")
+		}
+	}()
+	s.Receive(eng, &Packet{Dst: 5})
+}
+
+func TestDumbbellConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero host pairs did not panic")
+		}
+	}()
+	NewDumbbell(sim.New(), DumbbellConfig{HostPairs: 0, HostRate: 1, BottleneckRate: 1})
+}

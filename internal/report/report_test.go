@@ -1,0 +1,103 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"mltcp/internal/experiments"
+	"mltcp/internal/sim"
+)
+
+func TestFormatFig2(t *testing.T) {
+	res := experiments.Fig2Result{
+		Scheme: "mltcp-reno",
+		Jobs: []experiments.JobStats{
+			{Name: "J1", AvgIter: 1200 * sim.Millisecond, Ideal: 1200 * sim.Millisecond, Slowdown: 1.0},
+			{Name: "J2", AvgIter: 1800 * sim.Millisecond, Ideal: 1800 * sim.Millisecond, Slowdown: 1.0},
+		},
+		ConvergedAt: 11,
+	}
+	out := FormatFig2(res)
+	for _, want := range []string{"### Figure 2 — mltcp-reno", "| J1 | 1.200 s | 1.200 s | 1.00× |",
+		"iteration 11"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFig2NoConvergenceLine(t *testing.T) {
+	out := FormatFig2(experiments.Fig2Result{Scheme: "srpt", ConvergedAt: -1})
+	if strings.Contains(out, "Converged") {
+		t.Error("convergence line printed for ConvergedAt = -1")
+	}
+}
+
+func TestFormatFig3(t *testing.T) {
+	res := experiments.Fig3Result{
+		Functions:  []string{"F1", "F5"},
+		IterTimeMS: [][]float64{{2000, 1800}, {2200, 2200}},
+		IdealMS:    1800,
+	}
+	out := FormatFig3(res)
+	if !strings.Contains(out, "| F1 | 1800 ms | converged |") {
+		t.Errorf("F1 row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "| F5 | 2200 ms | did not converge |") {
+		t.Errorf("F5 row wrong:\n%s", out)
+	}
+}
+
+func TestFormatFig4Fig5Fig6(t *testing.T) {
+	f4 := FormatFig4(experiments.Fig4Result{TailSpeedup: 1.52, MedianSpeedup: 1.38})
+	if !strings.Contains(f4, "**1.52×**") {
+		t.Errorf("fig4: %s", f4)
+	}
+	f5 := FormatFig5(experiments.Fig5())
+	if !strings.Contains(f5, "0.90 s") {
+		t.Errorf("fig5: %s", f5)
+	}
+	f6 := FormatFig6(experiments.Fig6Result{InterleavedAt: 11, DeltaSec: []float64{0.01, 0.5}})
+	if !strings.Contains(f6, "iteration 11") || !strings.Contains(f6, "0.50 s") {
+		t.Errorf("fig6: %s", f6)
+	}
+}
+
+func TestFormatNoiseAndFairness(t *testing.T) {
+	n := FormatNoise(experiments.NoiseResult{
+		SigmaMS: []float64{10}, MeasuredMS: []float64{15.5}, BoundMS: []float64{22.9},
+	})
+	if !strings.Contains(n, "| 10 | 15.5 | 22.9 |") {
+		t.Errorf("noise: %s", n)
+	}
+	f := FormatFairness(experiments.FairnessResult{
+		LossProbs: []float64{0.002}, RenoMbps: []float64{33.3}, MLTCPMbps: []float64{47.7},
+		RenoExponent: -0.49, MLTCPExponent: -0.47, AdvantageRatio: 1.45,
+		ShareRatio: 1.36, RenoShareOfFair: 0.82,
+	})
+	for _, want := range []string{"| 0.002 | 33.3 | 47.7 |", "Reno -0.49", "1.45×", "82%"} {
+		if !strings.Contains(f, want) {
+			t.Errorf("fairness missing %q:\n%s", want, f)
+		}
+	}
+}
+
+func TestFormatFCT(t *testing.T) {
+	out := FormatFCT([]experiments.FCTResult{{
+		Scheme: "pfabric", Completed: 86, ShortMeanMS: 3.2, ShortP99MS: 12.4, LargeMeanMS: 2102,
+	}})
+	if !strings.Contains(out, "| pfabric | 86 | 3.2 | 12.4 | 2102 |") {
+		t.Errorf("fct: %s", out)
+	}
+}
+
+func TestMarkdownTableShape(t *testing.T) {
+	out := table([]string{"a", "b"}, [][]string{{"1", "2"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	if lines[1] != "| --- | --- |" {
+		t.Errorf("separator = %q", lines[1])
+	}
+}

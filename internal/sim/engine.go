@@ -1,0 +1,199 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock measured in integer nanoseconds and a
+// priority queue of scheduled events. Events scheduled for the same instant
+// fire in the order they were scheduled, which makes runs reproducible
+// regardless of map iteration order or goroutine scheduling. Nothing in this
+// package (or in any simulation code built on it) reads the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// simulation. It is a distinct type from time.Duration to prevent mixing
+// wall-clock durations into simulation arithmetic by accident.
+type Time int64
+
+// Common time constants mirroring the time package.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time. It is used as an
+// "infinitely far" horizon for runs bounded only by event exhaustion.
+const MaxTime = Time(math.MaxInt64)
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts t to a time.Duration of the same nanosecond count.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromDuration converts a time.Duration to a simulation Time span.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// FromSeconds converts a floating-point number of seconds to a Time,
+// rounding to the nearest nanosecond.
+func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
+
+// String formats t like a time.Duration ("1.5s", "250µs", ...).
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Handler is the callback invoked when an event fires. It receives the
+// engine so it can schedule follow-up events.
+type Handler func(e *Engine)
+
+type event struct {
+	at   Time
+	seq  uint64 // insertion order; breaks ties deterministically
+	fn   Handler
+	idx  int // heap index, -1 when popped or canceled
+	dead bool
+}
+
+// EventID identifies a scheduled event so it can be canceled. The zero
+// EventID is invalid and safe to Cancel (a no-op).
+type EventID struct{ ev *event }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// New returns a ready-to-run Engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are currently scheduled.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (before
+// Now) panics: it always indicates a logic error in simulation code, and
+// silently clamping would hide causality violations.
+func (e *Engine) At(t Time, fn Handler) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil handler")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn Handler) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired, already-
+// canceled, or zero EventID is a no-op. It reports whether the event was
+// actually pending.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.dead || ev.idx < 0 {
+		return false
+	}
+	ev.dead = true
+	heap.Remove(&e.heap, ev.idx)
+	return true
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the final simulation time.
+func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
+
+// RunUntil executes events with firing time <= deadline, in timestamp order.
+// When it returns, Now is the deadline (if reached) or the time of the last
+// event executed before Stop. Events scheduled beyond the deadline remain
+// pending, so the simulation can be resumed with a later deadline.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		ev := e.heap[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&e.heap)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(e)
+	}
+	if !e.stopped && deadline != MaxTime && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Step executes exactly one pending event (skipping canceled ones) and
+// reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(e)
+		return true
+	}
+	return false
+}

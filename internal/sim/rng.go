@@ -1,0 +1,83 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** by Blackman & Vigna). Simulations use explicit RNG values
+// seeded per experiment instead of global math/rand state so that results
+// are reproducible and independent across components.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via SplitMix64, which
+// guarantees a well-mixed nonzero state for any seed including 0.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// SplitMix64 stream to initialize the state.
+	x := seed
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a normally distributed value with mean 0 and standard
+// deviation 1, via the Box–Muller transform.
+func (r *RNG) Norm() float64 {
+	// Avoid u1 == 0 so Log stays finite.
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// NormDuration returns a normally distributed Time with the given mean and
+// standard deviation, clamped below at min so that (for example) compute
+// phases never go negative.
+func (r *RNG) NormDuration(mean, stddev, min Time) Time {
+	v := Time(math.Round(float64(mean) + r.Norm()*float64(stddev)))
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// Fork returns a new RNG whose stream is independent of r's future output,
+// derived from r's current state. Useful for giving each simulated
+// component its own stream from one experiment seed.
+func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }

@@ -1,0 +1,124 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func render(t *testing.T, c *Chart) string {
+	t.Helper()
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestRenderWellFormedXML(t *testing.T) {
+	out := render(t, &Chart{
+		Title:  "test & chart",
+		XLabel: "iteration",
+		YLabel: "ms",
+		Series: []Series{
+			{Name: "a<b", Y: []float64{1, 2, 3, 2, 5}},
+			{Name: "c", X: []float64{0, 2, 4, 6, 8}, Y: []float64{5, 4, 3, 2, 1}},
+		},
+	})
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "test &amp; chart", "a&lt;b", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Two series, two polylines.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var b strings.Builder
+	if err := (&Chart{Title: "x"}).Render(&b); err == nil {
+		t.Error("no error for empty chart")
+	}
+	if err := (&Chart{Width: 10, Height: 10, Series: []Series{{Y: []float64{1}}}}).Render(&b); err == nil {
+		t.Error("no error for tiny chart")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	// Constant series must not divide by zero.
+	out := render(t, &Chart{Title: "flat", Series: []Series{{Name: "c", Y: []float64{5, 5, 5}}}})
+	if !strings.Contains(out, "polyline") {
+		t.Error("flat series not drawn")
+	}
+}
+
+func TestTicksCoverRange(t *testing.T) {
+	ticks := Ticks(0, 100, 6)
+	if len(ticks) < 3 {
+		t.Fatalf("too few ticks: %v", ticks)
+	}
+	for _, v := range ticks {
+		if v < 0 || v > 100 {
+			t.Errorf("tick %v outside [0,100]", v)
+		}
+	}
+	// Nice steps only.
+	step := ticks[1] - ticks[0]
+	mant := step / math.Pow(10, math.Floor(math.Log10(step)))
+	if !(near(mant, 1) || near(mant, 2) || near(mant, 5)) {
+		t.Errorf("step %v not 1/2/5×10^k", step)
+	}
+}
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// Property: ticks are sorted, within range (with epsilon), and nice.
+func TestTicksProperty(t *testing.T) {
+	prop := func(lo8, span8 uint8, n8 uint8) bool {
+		lo := float64(lo8) - 128
+		span := float64(span8)/10 + 0.1
+		hi := lo + span
+		n := int(n8%8) + 2
+		ticks := Ticks(lo, hi, n)
+		if len(ticks) == 0 {
+			return false
+		}
+		for i, v := range ticks {
+			if v < lo-1e-9 || v > hi+1e-6 {
+				return false
+			}
+			if i > 0 && v <= ticks[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{
+		0.7: 1, 1.5: 2, 3: 5, 7: 10, 15: 20, 0.03: 0.05, 230: 500,
+	}
+	for in, want := range cases {
+		if got := niceStep(in); !near(got, want) {
+			t.Errorf("niceStep(%v) = %v, want %v", in, got, want)
+		}
+	}
+}

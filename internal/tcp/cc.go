@@ -1,0 +1,115 @@
+// Package tcp implements a simulated TCP transport over internal/netsim: an
+// app-limited sender with cumulative ACKs, dup-ACK fast retransmit, NewReno-
+// style fast recovery, RTO with exponential backoff and RTT estimation per
+// RFC 6298, and a pluggable congestion-control interface modeled after
+// Linux's pluggable congestion modules (which is where the paper inserts
+// MLTCP). Reno, CUBIC, and DCTCP are provided; internal/core wraps any of
+// them to build MLTCP-X.
+package tcp
+
+import (
+	"mltcp/internal/sim"
+)
+
+// AckEvent carries everything a congestion-control algorithm may want to
+// know about one cumulative ACK.
+type AckEvent struct {
+	// Now is the simulation time the ACK was processed.
+	Now sim.Time
+	// AckedBytes is how many new bytes this ACK covers.
+	AckedBytes int64
+	// AckedPackets is how many full MSS packets this ACK newly covers
+	// (Algorithm 1's num_acks); cumulative ACKs may cover several.
+	AckedPackets int
+	// RTT is the sample measured from this ACK, or 0 when no valid
+	// sample was available (e.g. during recovery, per Karn's rule).
+	RTT sim.Time
+	// ECNEcho is set when the receiver echoed a congestion mark.
+	ECNEcho bool
+	// InSlowStart reports whether the sender was in slow start when the
+	// ACK arrived (cwnd < ssthresh), before any CC action.
+	InSlowStart bool
+}
+
+// CongestionControl is the pluggable window-update policy. Implementations
+// mutate the window through the Window interface; the sender machinery owns
+// loss detection and retransmission.
+type CongestionControl interface {
+	// Name identifies the algorithm ("reno", "mltcp-reno", ...).
+	Name() string
+	// OnInit is called once when the sender is created.
+	OnInit(w Window)
+	// OnAck is called for every cumulative ACK that advances snd_una
+	// outside of recovery. It should grow the window.
+	OnAck(w Window, ev AckEvent)
+	// OnPacketLoss is called once on entering fast recovery (third
+	// duplicate ACK). It should perform the multiplicative decrease and
+	// set ssthresh.
+	OnPacketLoss(w Window, now sim.Time)
+	// OnTimeout is called when the retransmission timer fires.
+	OnTimeout(w Window, now sim.Time)
+}
+
+// Window is the sender state a congestion-control algorithm may read and
+// write. Window sizes are in packets (the paper follows Linux in expressing
+// cwnd in packets, not bytes).
+type Window interface {
+	Cwnd() float64
+	SetCwnd(cwnd float64)
+	Ssthresh() float64
+	SetSsthresh(ss float64)
+	// SRTT returns the smoothed RTT estimate (0 before the first sample).
+	SRTT() sim.Time
+	// InSlowStart reports cwnd < ssthresh.
+	InSlowStart() bool
+}
+
+// Default window bounds, in packets.
+const (
+	DefaultInitialCwnd = 10.0
+	MinCwnd            = 2.0
+)
+
+// Reno is classic TCP Reno / NewReno congestion control: slow start doubles
+// per RTT, congestion avoidance adds num_acks/cwnd per ACK, loss halves.
+// This is the base algorithm the paper augments (Algorithm 1 scales the
+// congestion-avoidance increment).
+type Reno struct{}
+
+// NewReno returns the Reno algorithm.
+func NewReno() *Reno { return &Reno{} }
+
+// Name implements CongestionControl.
+func (*Reno) Name() string { return "reno" }
+
+// OnInit implements CongestionControl.
+func (*Reno) OnInit(Window) {}
+
+// OnAck implements CongestionControl.
+func (*Reno) OnAck(w Window, ev AckEvent) {
+	if ev.InSlowStart {
+		w.SetCwnd(w.Cwnd() + float64(ev.AckedPackets))
+		return
+	}
+	w.SetCwnd(w.Cwnd() + float64(ev.AckedPackets)/w.Cwnd())
+}
+
+// OnPacketLoss implements CongestionControl.
+func (*Reno) OnPacketLoss(w Window, _ sim.Time) {
+	ss := w.Cwnd() / 2
+	if ss < MinCwnd {
+		ss = MinCwnd
+	}
+	w.SetSsthresh(ss)
+	w.SetCwnd(ss)
+}
+
+// OnTimeout implements CongestionControl.
+func (*Reno) OnTimeout(w Window, _ sim.Time) {
+	ss := w.Cwnd() / 2
+	if ss < MinCwnd {
+		ss = MinCwnd
+	}
+	w.SetSsthresh(ss)
+	w.SetCwnd(1)
+}

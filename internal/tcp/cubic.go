@@ -1,0 +1,115 @@
+package tcp
+
+import (
+	"math"
+
+	"mltcp/internal/sim"
+)
+
+// Cubic implements TCP CUBIC (Ha, Rhee, Xu 2008): after a loss the window
+// grows along a cubic curve W(t) = C·(t−K)³ + Wmax anchored at the
+// pre-loss window, giving rapid recovery, a plateau near Wmax, and probing
+// beyond it. The TCP-friendly region is included so CUBIC never grows
+// slower than Reno would.
+type Cubic struct {
+	c    float64 // scaling constant, conventionally 0.4
+	beta float64 // multiplicative decrease factor, conventionally 0.7
+
+	wMax       float64
+	epochStart sim.Time
+	originCwnd float64
+	k          float64 // seconds to return to wMax
+
+	// Reno-friendly tracking.
+	ackCount float64
+	tcpCwnd  float64
+}
+
+// NewCubic returns CUBIC with the standard constants (C=0.4, beta=0.7).
+func NewCubic() *Cubic { return &Cubic{c: 0.4, beta: 0.7} }
+
+// Name implements CongestionControl.
+func (*Cubic) Name() string { return "cubic" }
+
+// OnInit implements CongestionControl.
+func (cu *Cubic) OnInit(Window) { cu.reset() }
+
+func (cu *Cubic) reset() {
+	cu.wMax = 0
+	cu.epochStart = -1
+	cu.ackCount = 0
+	cu.tcpCwnd = 0
+}
+
+// OnAck implements CongestionControl.
+func (cu *Cubic) OnAck(w Window, ev AckEvent) {
+	if ev.AckedPackets == 0 {
+		return
+	}
+	if ev.InSlowStart {
+		w.SetCwnd(w.Cwnd() + float64(ev.AckedPackets))
+		return
+	}
+	cwnd := w.Cwnd()
+	now := ev.Now
+	if cu.epochStart < 0 {
+		// New congestion-avoidance epoch.
+		cu.epochStart = now
+		cu.originCwnd = cwnd
+		if cwnd < cu.wMax {
+			cu.k = math.Cbrt((cu.wMax - cwnd) / cu.c)
+		} else {
+			cu.k = 0
+			cu.wMax = cwnd
+		}
+		cu.ackCount = 0
+		cu.tcpCwnd = cwnd
+	}
+	t := (now - cu.epochStart).Seconds()
+	target := cu.c*math.Pow(t-cu.k, 3) + cu.wMax
+
+	// TCP-friendly window (what Reno would have by now).
+	cu.ackCount += float64(ev.AckedPackets)
+	cu.tcpCwnd = cu.originCwnd + 3*(1-cu.beta)/(1+cu.beta)*(cu.ackCount/cwnd)
+	if cu.tcpCwnd > target {
+		target = cu.tcpCwnd
+	}
+
+	if target > cwnd {
+		// Spread the climb over the next RTT's worth of ACKs.
+		w.SetCwnd(cwnd + (target-cwnd)/cwnd*float64(ev.AckedPackets))
+	} else {
+		// At or above target: probe very slowly.
+		w.SetCwnd(cwnd + 0.01*float64(ev.AckedPackets)/cwnd)
+	}
+}
+
+// OnPacketLoss implements CongestionControl.
+func (cu *Cubic) OnPacketLoss(w Window, _ sim.Time) {
+	cwnd := w.Cwnd()
+	cu.epochStart = -1
+	if cwnd < cu.wMax {
+		// Fast convergence: release bandwidth faster when the
+		// available capacity shrank.
+		cu.wMax = cwnd * (1 + cu.beta) / 2
+	} else {
+		cu.wMax = cwnd
+	}
+	ss := cwnd * cu.beta
+	if ss < MinCwnd {
+		ss = MinCwnd
+	}
+	w.SetSsthresh(ss)
+	w.SetCwnd(ss)
+}
+
+// OnTimeout implements CongestionControl.
+func (cu *Cubic) OnTimeout(w Window, _ sim.Time) {
+	cu.reset()
+	ss := w.Cwnd() * cu.beta
+	if ss < MinCwnd {
+		ss = MinCwnd
+	}
+	w.SetSsthresh(ss)
+	w.SetCwnd(1)
+}

@@ -1,0 +1,65 @@
+package tcp
+
+import (
+	"mltcp/internal/sim"
+)
+
+// CwndSample is one point of a congestion-window trace.
+type CwndSample struct {
+	At   sim.Time
+	Cwnd float64
+}
+
+// CwndTrace records a sender's congestion window over time, for
+// visualizing MLTCP's window dynamics (the packet-level analogue of the
+// paper's bandwidth plots).
+type CwndTrace struct {
+	samples  []CwndSample
+	interval sim.Time
+	lastAt   sim.Time
+}
+
+// SampleCwnd attaches a trace to the sender, recording at most one sample
+// per interval (sampled on ACK arrivals, where the window changes). It
+// must be called before traffic starts; it chains onto any existing ACK
+// hook.
+func SampleCwnd(s *Sender, interval sim.Time) *CwndTrace {
+	if interval <= 0 {
+		panic("tcp: SampleCwnd interval must be positive")
+	}
+	t := &CwndTrace{interval: interval, lastAt: -interval}
+	prev := s.onAck
+	s.OnAckHook(func(ev AckEvent) {
+		if prev != nil {
+			prev(ev)
+		}
+		if ev.Now-t.lastAt >= t.interval {
+			t.samples = append(t.samples, CwndSample{At: ev.Now, Cwnd: s.Cwnd()})
+			t.lastAt = ev.Now
+		}
+	})
+	return t
+}
+
+// Samples returns the recorded trace.
+func (t *CwndTrace) Samples() []CwndSample { return t.samples }
+
+// Values returns just the window sizes, for charting.
+func (t *CwndTrace) Values() []float64 {
+	out := make([]float64, len(t.samples))
+	for i, s := range t.samples {
+		out[i] = s.Cwnd
+	}
+	return out
+}
+
+// Max returns the largest sampled window (0 when empty).
+func (t *CwndTrace) Max() float64 {
+	var m float64
+	for _, s := range t.samples {
+		if s.Cwnd > m {
+			m = s.Cwnd
+		}
+	}
+	return m
+}

@@ -1,0 +1,102 @@
+package tcp
+
+import (
+	"math"
+
+	"mltcp/internal/sim"
+)
+
+// D2TCP implements Deadline-Aware Datacenter TCP (Vamanan et al., SIGCOMM
+// 2012), the deadline-aware family §6 cites: DCTCP's congestion estimate
+// alpha is gamma-corrected by deadline imminence before being applied, so
+// flows far from their deadlines back off more and near-deadline flows
+// back off less:
+//
+//	p = alpha^d,  d = Tc/D  (needed time over remaining time), d ∈ [½, 2]
+//	cwnd ← cwnd · (1 − p/2) on a marked window
+type D2TCP struct {
+	dctcp DCTCP
+
+	// Deadline is the absolute completion deadline (0 = no deadline:
+	// behave exactly like DCTCP, d = 1).
+	Deadline sim.Time
+	// Remaining reports the flow's outstanding bytes (wired to
+	// Sender.Remaining by the application). Nil means unknown (d = 1).
+	Remaining func() int64
+}
+
+// NewD2TCP returns D2TCP with DCTCP's standard constants.
+func NewD2TCP() *D2TCP { return &D2TCP{dctcp: *NewDCTCP()} }
+
+// Name implements CongestionControl.
+func (*D2TCP) Name() string { return "d2tcp" }
+
+// Alpha exposes the underlying congestion estimate.
+func (d *D2TCP) Alpha() float64 { return d.dctcp.Alpha() }
+
+// OnInit implements CongestionControl.
+func (d *D2TCP) OnInit(w Window) { d.dctcp.OnInit(w) }
+
+// imminence computes the deadline factor d = Tc/D clamped to [0.5, 2].
+func (d *D2TCP) imminence(w Window, now sim.Time) float64 {
+	if d.Deadline == 0 || d.Remaining == nil {
+		return 1
+	}
+	left := d.Deadline - now
+	if left <= 0 {
+		return 2 // past deadline: maximum urgency
+	}
+	srtt := w.SRTT()
+	if srtt == 0 {
+		return 1
+	}
+	rate := w.Cwnd() * 1460 / srtt.Seconds() // bytes/sec estimate
+	if rate <= 0 {
+		return 1
+	}
+	needed := float64(d.Remaining()) / rate
+	imm := needed / left.Seconds()
+	return math.Min(2, math.Max(0.5, imm))
+}
+
+// OnAck implements CongestionControl: identical bookkeeping to DCTCP, but
+// the proportional decrease uses the gamma-corrected penalty alpha^d.
+func (d *D2TCP) OnAck(w Window, ev AckEvent) {
+	dd := &d.dctcp
+	dd.totalAcked += ev.AckedBytes
+	dd.ackedBytes += ev.AckedBytes
+	if ev.ECNEcho {
+		dd.markedBytes += ev.AckedBytes
+		dd.seenMark = true
+	}
+	if dd.totalAcked >= dd.windowEnd {
+		if dd.ackedBytes > 0 {
+			frac := float64(dd.markedBytes) / float64(dd.ackedBytes)
+			dd.alpha = (1-dd.g)*dd.alpha + dd.g*frac
+		}
+		if dd.seenMark {
+			p := math.Pow(dd.alpha, d.imminence(w, ev.Now))
+			cwnd := w.Cwnd() * (1 - p/2)
+			if cwnd < MinCwnd {
+				cwnd = MinCwnd
+			}
+			w.SetSsthresh(cwnd)
+			w.SetCwnd(cwnd)
+		}
+		dd.ackedBytes = 0
+		dd.markedBytes = 0
+		dd.seenMark = false
+		dd.windowEnd = dd.totalAcked + int64(w.Cwnd())*1460
+	}
+	if ev.InSlowStart && !ev.ECNEcho {
+		w.SetCwnd(w.Cwnd() + float64(ev.AckedPackets))
+	} else {
+		w.SetCwnd(w.Cwnd() + float64(ev.AckedPackets)/w.Cwnd())
+	}
+}
+
+// OnPacketLoss implements CongestionControl.
+func (d *D2TCP) OnPacketLoss(w Window, now sim.Time) { d.dctcp.OnPacketLoss(w, now) }
+
+// OnTimeout implements CongestionControl.
+func (d *D2TCP) OnTimeout(w Window, now sim.Time) { d.dctcp.OnTimeout(w, now) }

@@ -1,0 +1,130 @@
+package tcp
+
+import (
+	"testing"
+
+	"mltcp/internal/netsim"
+	"mltcp/internal/sim"
+)
+
+func ecnNet(eng *sim.Engine, pairs int) *netsim.Dumbbell {
+	return netsim.NewDumbbell(eng, netsim.DumbbellConfig{
+		HostPairs:       pairs,
+		HostRate:        1 * gbps,
+		BottleneckRate:  100 * mbps,
+		HostDelay:       10 * sim.Microsecond,
+		BottleneckDelay: 30 * sim.Microsecond,
+		BottleneckQueue: func() netsim.Queue {
+			return netsim.NewECNQueue(netsim.NewDropTail(100*netsim.DefaultMTU), 20*netsim.DefaultMTU)
+		},
+	})
+}
+
+const (
+	gbps = 1_000_000_000
+	mbps = 1_000_000
+)
+
+func TestD2TCPBehavesLikeDCTCPWithoutDeadline(t *testing.T) {
+	eng := sim.New()
+	net := ecnNet(eng, 1)
+	f := NewFlow(eng, 1, net.Left[0], net.Right[0], NewD2TCP(), Config{ECN: true})
+	const total = 8_000_000
+	done := false
+	f.Sender.Drained(func(sim.Time) { done = true })
+	f.Sender.Write(total)
+	eng.RunUntil(30 * sim.Second)
+	if !done || f.Receiver.BytesReceived() != total {
+		t.Fatalf("d2tcp transfer incomplete: %d/%d", f.Receiver.BytesReceived(), total)
+	}
+}
+
+func TestD2TCPImminenceClamps(t *testing.T) {
+	d := NewD2TCP()
+	w := &fakeWindow{cwnd: 10, ssthresh: 5, srtt: sim.Millisecond}
+	// No deadline: neutral.
+	if got := d.imminence(w, 0); got != 1 {
+		t.Errorf("no-deadline imminence = %v, want 1", got)
+	}
+	remaining := int64(1_000_000)
+	d.Remaining = func() int64 { return remaining }
+	d.Deadline = 10 * sim.Second
+	// Loose deadline: low urgency, clamped at 0.5.
+	if got := d.imminence(w, 0); got != 0.5 {
+		t.Errorf("loose imminence = %v, want 0.5", got)
+	}
+	// Past deadline: clamped at 2.
+	if got := d.imminence(w, 11*sim.Second); got != 2 {
+		t.Errorf("past-deadline imminence = %v, want 2", got)
+	}
+}
+
+func TestD2TCPNearDeadlineBacksOffLess(t *testing.T) {
+	// Same alpha, one marked window: the near-deadline flow must cut
+	// its window less than the far-deadline flow (p = alpha^d with
+	// alpha < 1 grows as d shrinks... d small = loose deadline: the
+	// penalty alpha^0.5 > alpha^2, so LOOSE deadlines cut MORE).
+	mk := func(deadline sim.Time) (*D2TCP, *fakeWindow) {
+		d := NewD2TCP()
+		w := &fakeWindow{cwnd: 100, ssthresh: 50, srtt: sim.Millisecond}
+		d.OnInit(w)
+		// Prime alpha to ~0.25 with a mix of marked traffic.
+		for i := 0; i < 50; i++ {
+			d.dctcp.alpha = 0.25
+			d.OnAck(w, AckEvent{Now: sim.Time(i) * sim.Millisecond, AckedBytes: 146000, AckedPackets: 100})
+		}
+		w.cwnd = 100
+		d.Deadline = deadline
+		d.Remaining = func() int64 { return 10_000_000 }
+		// Force a marked window boundary.
+		d.dctcp.seenMark = true
+		d.dctcp.markedBytes = 146000
+		d.dctcp.ackedBytes = 146000
+		d.dctcp.windowEnd = d.dctcp.totalAcked
+		d.OnAck(w, AckEvent{Now: 100 * sim.Millisecond, AckedBytes: 1460, AckedPackets: 1, ECNEcho: true})
+		return d, w
+	}
+	_, tight := mk(120 * sim.Millisecond) // ~68ms needed vs 20ms left: urgent
+	_, loose := mk(100 * sim.Second)      // ages of slack
+	if tight.cwnd <= loose.cwnd {
+		t.Errorf("near-deadline cwnd %v <= far-deadline %v; gamma correction inverted",
+			tight.cwnd, loose.cwnd)
+	}
+}
+
+func TestD2TCPTightDeadlineWinsBandwidth(t *testing.T) {
+	// Two D2TCP flows share an ECN bottleneck: the one with the tight
+	// deadline should claim more bandwidth and finish first.
+	eng := sim.New()
+	net := ecnNet(eng, 2)
+	const total = 20_000_000
+
+	mkFlow := func(id netsim.FlowID, pair int, deadline sim.Time) *Flow {
+		cc := NewD2TCP()
+		f := NewFlow(eng, id, net.Left[pair], net.Right[pair], cc, Config{ECN: true})
+		cc.Deadline = deadline
+		cc.Remaining = f.Sender.Remaining
+		return f
+	}
+	tight := mkFlow(1, 0, 2500*sim.Millisecond)
+	loose := mkFlow(2, 1, 60*sim.Second)
+	var tightDone, looseDone sim.Time
+	tight.Sender.Drained(func(now sim.Time) { tightDone = now })
+	loose.Sender.Drained(func(now sim.Time) { looseDone = now })
+	tight.Sender.Write(total)
+	loose.Sender.Write(total)
+	eng.RunUntil(30 * sim.Second)
+
+	if tightDone == 0 || looseDone == 0 {
+		t.Fatalf("transfers incomplete: tight %v loose %v", tightDone, looseDone)
+	}
+	if tightDone >= looseDone {
+		t.Errorf("tight-deadline flow finished at %v, after loose at %v", tightDone, looseDone)
+	}
+}
+
+func TestD2TCPName(t *testing.T) {
+	if NewD2TCP().Name() != "d2tcp" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,91 @@
+package tcp
+
+import (
+	"mltcp/internal/sim"
+)
+
+// DCTCP implements Data Center TCP (Alizadeh et al. 2010): the sender
+// maintains an EWMA estimate alpha of the fraction of ECN-marked bytes per
+// window and, once per window with at least one mark, reduces cwnd by
+// alpha/2 — a decrease proportional to the extent of congestion. Window
+// growth follows Reno. Requires Config.ECN on the sender and an
+// netsim.ECNQueue at the bottleneck.
+type DCTCP struct {
+	g     float64 // EWMA gain, conventionally 1/16
+	alpha float64
+
+	windowEnd   int64 // bytes-acked boundary of the current observation window
+	ackedBytes  int64
+	markedBytes int64
+	seenMark    bool
+	totalAcked  int64
+}
+
+// NewDCTCP returns DCTCP with the standard gain g = 1/16 and alpha starting
+// at 1 (conservative until the first estimate).
+func NewDCTCP() *DCTCP { return &DCTCP{g: 1.0 / 16, alpha: 1} }
+
+// Name implements CongestionControl.
+func (*DCTCP) Name() string { return "dctcp" }
+
+// Alpha returns the current congestion estimate (tests and traces).
+func (d *DCTCP) Alpha() float64 { return d.alpha }
+
+// OnInit implements CongestionControl.
+func (d *DCTCP) OnInit(w Window) {
+	d.windowEnd = 0
+	d.ackedBytes = 0
+	d.markedBytes = 0
+	d.seenMark = false
+	d.totalAcked = 0
+}
+
+// OnAck implements CongestionControl.
+func (d *DCTCP) OnAck(w Window, ev AckEvent) {
+	d.totalAcked += ev.AckedBytes
+	d.ackedBytes += ev.AckedBytes
+	if ev.ECNEcho {
+		d.markedBytes += ev.AckedBytes
+		d.seenMark = true
+	}
+
+	// Once per window of data, refresh alpha and apply the proportional
+	// decrease if any marks were seen.
+	if d.totalAcked >= d.windowEnd {
+		if d.ackedBytes > 0 {
+			frac := float64(d.markedBytes) / float64(d.ackedBytes)
+			d.alpha = (1-d.g)*d.alpha + d.g*frac
+		}
+		if d.seenMark {
+			cwnd := w.Cwnd() * (1 - d.alpha/2)
+			if cwnd < MinCwnd {
+				cwnd = MinCwnd
+			}
+			w.SetSsthresh(cwnd)
+			w.SetCwnd(cwnd)
+		}
+		d.ackedBytes = 0
+		d.markedBytes = 0
+		d.seenMark = false
+		// Observe for one cwnd's worth of bytes (cwnd is in packets).
+		d.windowEnd = d.totalAcked + int64(w.Cwnd())*1460
+	}
+
+	// Growth: Reno-style.
+	if ev.InSlowStart && !ev.ECNEcho {
+		w.SetCwnd(w.Cwnd() + float64(ev.AckedPackets))
+	} else {
+		w.SetCwnd(w.Cwnd() + float64(ev.AckedPackets)/w.Cwnd())
+	}
+}
+
+// OnPacketLoss implements CongestionControl: fall back to Reno halving on
+// actual loss.
+func (d *DCTCP) OnPacketLoss(w Window, now sim.Time) {
+	(&Reno{}).OnPacketLoss(w, now)
+}
+
+// OnTimeout implements CongestionControl.
+func (d *DCTCP) OnTimeout(w Window, now sim.Time) {
+	(&Reno{}).OnTimeout(w, now)
+}

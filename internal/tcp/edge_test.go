@@ -1,0 +1,122 @@
+package tcp
+
+import (
+	"testing"
+
+	"mltcp/internal/netsim"
+	"mltcp/internal/sim"
+)
+
+// blackholeQueue drops everything after admitting the first n packets —
+// for forcing repeated RTOs deterministically.
+type blackholeQueue struct {
+	netsim.Queue
+	admit int
+}
+
+func (q *blackholeQueue) Enqueue(p *netsim.Packet) bool {
+	if q.admit <= 0 {
+		return false
+	}
+	q.admit--
+	return q.Queue.Enqueue(p)
+}
+
+func TestRTOExponentialBackoff(t *testing.T) {
+	eng := sim.New()
+	bh := &blackholeQueue{Queue: netsim.NewDropTail(100 * netsim.DefaultMTU), admit: 1}
+	net := netsim.NewDumbbell(eng, netsim.DumbbellConfig{
+		HostPairs:       1,
+		HostRate:        1 * gbps,
+		BottleneckRate:  100 * mbps,
+		HostDelay:       10 * sim.Microsecond,
+		BottleneckDelay: 30 * sim.Microsecond,
+		BottleneckQueue: func() netsim.Queue { return bh },
+	})
+	f := NewFlow(eng, 1, net.Left[0], net.Right[0], NewReno(), Config{})
+	// Two packets: the first delivers (establishing nothing special),
+	// the second and all retransmits black-hole. The RTO must double
+	// each firing.
+	f.Sender.Write(2 * 1460)
+	var timeouts []sim.Time
+	prevTimeouts := int64(0)
+	for ts := sim.Millisecond; ts < 4*sim.Second; ts += sim.Millisecond {
+		eng.At(ts, func(e *sim.Engine) {
+			if n := f.Sender.Stats().Timeouts; n > prevTimeouts {
+				prevTimeouts = n
+				timeouts = append(timeouts, e.Now())
+			}
+		})
+	}
+	eng.RunUntil(4 * sim.Second)
+	if len(timeouts) < 3 {
+		t.Fatalf("only %d timeouts observed", len(timeouts))
+	}
+	// Consecutive timeout gaps must grow ~2x (within the 1ms sampling).
+	g1 := timeouts[1] - timeouts[0]
+	g2 := timeouts[2] - timeouts[1]
+	ratio := float64(g2) / float64(g1)
+	if ratio < 1.7 || ratio > 2.4 {
+		t.Errorf("backoff ratio = %.2f (gaps %v, %v), want ~2", ratio, g1, g2)
+	}
+}
+
+func TestStaleAckIgnored(t *testing.T) {
+	eng := sim.New()
+	net := testNet(eng, 1, nil)
+	f := NewFlow(eng, 1, net.Left[0], net.Right[0], NewReno(), Config{})
+	f.Sender.Write(100_000)
+	eng.RunUntil(sim.Second)
+	acked := f.Sender.TotalBytesAcked()
+	if acked != 100_000 {
+		t.Fatalf("setup: acked %d", acked)
+	}
+	cwnd := f.Sender.Cwnd()
+	// Deliver a stale ACK (below snd_una): must be ignored entirely.
+	f.Sender.HandlePacket(eng, &netsim.Packet{Flow: 1, Ack: true, AckNo: 50})
+	if f.Sender.TotalBytesAcked() != acked || f.Sender.Cwnd() != cwnd {
+		t.Error("stale ACK mutated sender state")
+	}
+}
+
+func TestDupAckWithNothingOutstandingIgnored(t *testing.T) {
+	eng := sim.New()
+	net := testNet(eng, 1, nil)
+	f := NewFlow(eng, 1, net.Left[0], net.Right[0], NewReno(), Config{})
+	f.Sender.Write(100_000)
+	eng.RunUntil(sim.Second)
+	before := f.Sender.Stats()
+	// Duplicate ACKs at snd_una with an empty pipe must not trigger
+	// fast retransmit.
+	for i := 0; i < 5; i++ {
+		f.Sender.HandlePacket(eng, &netsim.Packet{Flow: 1, Ack: true, AckNo: 100_000})
+	}
+	after := f.Sender.Stats()
+	if after.FastRecoveries != before.FastRecoveries || after.Retransmits != before.Retransmits {
+		t.Errorf("idle dup ACKs triggered recovery: %+v -> %+v", before, after)
+	}
+}
+
+func TestSenderRejectsDataPacket(t *testing.T) {
+	eng := sim.New()
+	net := testNet(eng, 1, nil)
+	f := NewFlow(eng, 1, net.Left[0], net.Right[0], NewReno(), Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("data packet at sender did not panic")
+		}
+	}()
+	f.Sender.HandlePacket(eng, &netsim.Packet{Flow: 1, Payload: 100})
+}
+
+func TestReceiverRejectsAck(t *testing.T) {
+	eng := sim.New()
+	net := testNet(eng, 1, nil)
+	f := NewFlow(eng, 1, net.Left[0], net.Right[0], NewReno(), Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("ACK at receiver did not panic")
+		}
+	}()
+	f.Receiver.HandlePacket(eng, &netsim.Packet{Flow: 1, Ack: true})
+}

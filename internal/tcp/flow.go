@@ -1,0 +1,51 @@
+package tcp
+
+import (
+	"mltcp/internal/netsim"
+	"mltcp/internal/sim"
+)
+
+// Flow bundles a sender on one host with its receiver on another — the unit
+// a DNN job's communication phase drives.
+type Flow struct {
+	Sender   *Sender
+	Receiver *Receiver
+}
+
+// NewFlow wires a sender on src to a receiver on dst with the given flow ID
+// and configuration.
+func NewFlow(eng *sim.Engine, id netsim.FlowID, src, dst *netsim.Host, cc CongestionControl, cfg Config) *Flow {
+	f := &Flow{
+		Sender:   NewSender(eng, src, id, dst.ID(), cc, cfg),
+		Receiver: NewReceiver(eng, dst, id, src.ID()),
+	}
+	if cfg.DelayedAck {
+		timeout := cfg.DelAckTimeout
+		if timeout == 0 {
+			timeout = 500 * sim.Microsecond
+		}
+		f.Receiver.EnableDelayedAck(timeout)
+	}
+	return f
+}
+
+// PFabricPrio is a Config.Prio function implementing pFabric's tag: the
+// flow's remaining (unacknowledged) bytes, so shorter remaining flows win.
+func PFabricPrio(s *Sender) int64 { return s.Remaining() }
+
+// PIASBands returns a Config.Band function implementing PIAS's
+// information-agnostic tagging: a flow's packets start in the highest
+// priority band and are demoted as the bytes sent in the current batch
+// cross each threshold.
+func PIASBands(thresholds []int64) func(*Sender) int {
+	return func(s *Sender) int {
+		sent := s.BatchBytesSent()
+		band := 0
+		for _, th := range thresholds {
+			if sent >= th {
+				band++
+			}
+		}
+		return band
+	}
+}

@@ -1,0 +1,146 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mltcp/internal/netsim"
+	"mltcp/internal/sim"
+)
+
+// Property: whatever random loss the wire inflicts, TCP delivers exactly
+// the written bytes, in order, exactly once — the receiver's in-order edge
+// equals the application demand once the sender reports drained.
+func TestTransferConservationUnderRandomLoss(t *testing.T) {
+	prop := func(seed uint16, lossPct uint8, sizeKB uint8) bool {
+		loss := float64(lossPct%25) / 100 // 0–24%
+		total := int64(sizeKB%64+1) * 10_000
+		eng := sim.New()
+		net := testNet(eng, 1, nil)
+		net.Forward.LossProb = loss
+		net.Forward.RNG = sim.NewRNG(uint64(seed))
+		net.Reverse.LossProb = loss / 2 // ACK loss too
+		net.Reverse.RNG = sim.NewRNG(uint64(seed) + 1)
+		f := NewFlow(eng, 1, net.Left[0], net.Right[0], NewReno(), Config{})
+		done := false
+		f.Sender.Drained(func(sim.Time) { done = true })
+		f.Sender.Write(total)
+		eng.RunUntil(300 * sim.Second)
+		return done && f.Receiver.BytesReceived() == total && f.Sender.TotalBytesAcked() == total
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the receiver's in-order edge never exceeds what the sender has
+// transmitted, and ACK numbers are monotone.
+func TestAckMonotonicityProperty(t *testing.T) {
+	prop := func(seed uint16) bool {
+		eng := sim.New()
+		net := testNet(eng, 1, func() netsim.Queue { return netsim.NewDropTail(10 * netsim.DefaultMTU) })
+		net.Forward.LossProb = 0.05
+		net.Forward.RNG = sim.NewRNG(uint64(seed))
+		f := NewFlow(eng, 1, net.Left[0], net.Right[0], NewReno(), Config{})
+		ok := true
+		var lastAck int64 = -1
+		f.Sender.OnAckHook(func(ev AckEvent) {
+			acked := f.Sender.TotalBytesAcked()
+			if acked < lastAck {
+				ok = false
+			}
+			lastAck = acked
+			if acked > 2_000_000 {
+				ok = ok && acked <= 2_000_000
+			}
+		})
+		f.Sender.Write(2_000_000)
+		eng.RunUntil(60 * sim.Second)
+		return ok && f.Receiver.BytesReceived() <= 2_000_000
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cwnd always stays within [1, MaxCwnd] across arbitrary
+// loss patterns and all three congestion controls.
+func TestCwndBoundsProperty(t *testing.T) {
+	ccs := []func() CongestionControl{
+		func() CongestionControl { return NewReno() },
+		func() CongestionControl { return NewCubic() },
+		func() CongestionControl { return NewDCTCP() },
+	}
+	prop := func(seed uint16, which uint8) bool {
+		eng := sim.New()
+		net := testNet(eng, 1, nil)
+		net.Forward.LossProb = 0.08
+		net.Forward.RNG = sim.NewRNG(uint64(seed))
+		f := NewFlow(eng, 1, net.Left[0], net.Right[0], ccs[int(which)%len(ccs)](),
+			Config{MaxCwnd: 500})
+		ok := true
+		f.Sender.OnAckHook(func(AckEvent) {
+			c := f.Sender.Cwnd()
+			if c < 1 || c > 500 {
+				ok = false
+			}
+		})
+		f.Sender.Write(3_000_000)
+		eng.RunUntil(60 * sim.Second)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleCwnd(t *testing.T) {
+	eng := sim.New()
+	net := testNet(eng, 1, nil)
+	f := NewFlow(eng, 1, net.Left[0], net.Right[0], NewReno(), Config{})
+	tr := SampleCwnd(f.Sender, 10*sim.Millisecond)
+	f.Sender.Write(5_000_000)
+	eng.RunUntil(2 * sim.Second)
+	samples := tr.Samples()
+	if len(samples) < 5 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At-samples[i-1].At < 10*sim.Millisecond {
+			t.Fatalf("samples %d closer than interval: %v -> %v", i, samples[i-1].At, samples[i].At)
+		}
+	}
+	if tr.Max() <= DefaultInitialCwnd {
+		t.Errorf("max cwnd %v never grew beyond IW", tr.Max())
+	}
+	if len(tr.Values()) != len(samples) {
+		t.Error("Values length mismatch")
+	}
+}
+
+func TestSampleCwndChainsHooks(t *testing.T) {
+	eng := sim.New()
+	net := testNet(eng, 1, nil)
+	f := NewFlow(eng, 1, net.Left[0], net.Right[0], NewReno(), Config{})
+	hookCalls := 0
+	f.Sender.OnAckHook(func(AckEvent) { hookCalls++ })
+	SampleCwnd(f.Sender, time500ms)
+	f.Sender.Write(100_000)
+	eng.RunUntil(time500ms)
+	if hookCalls == 0 {
+		t.Error("pre-existing ACK hook was lost")
+	}
+}
+
+func TestSampleCwndValidation(t *testing.T) {
+	eng := sim.New()
+	net := testNet(eng, 1, nil)
+	f := NewFlow(eng, 1, net.Left[0], net.Right[0], NewReno(), Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero interval")
+		}
+	}()
+	SampleCwnd(f.Sender, 0)
+}

@@ -1,0 +1,95 @@
+package tcp
+
+import (
+	"mltcp/internal/sim"
+)
+
+// Swift implements a simplified Swift (Kumar et al., SIGCOMM 2020), the
+// delay-based congestion control §6 groups with TIMELY and DX: the sender
+// compares each RTT sample against a target delay; below target it grows
+// additively (the step MLTCP scales), above target it backs off
+// multiplicatively in proportion to the excess, at most once per RTT.
+// Delay-based control needs no packet loss, so a Swift bottleneck runs
+// with short queues — the regime RDMA-style ML clusters prefer.
+type Swift struct {
+	// Target is the end-to-end delay setpoint. Zero uses 4× the first
+	// RTT sample (a base-RTT-relative target).
+	Target sim.Time
+	// AI is the additive increase in packets per RTT (default 1).
+	AI float64
+	// Beta caps the multiplicative decrease per event (default 0.8
+	// retained fraction at maximum overshoot).
+	Beta float64
+
+	baseRTT      sim.Time
+	lastDecrease sim.Time
+}
+
+// NewSwift returns Swift with default parameters.
+func NewSwift() *Swift { return &Swift{AI: 1, Beta: 0.8} }
+
+// Name implements CongestionControl.
+func (*Swift) Name() string { return "swift" }
+
+// OnInit implements CongestionControl.
+func (s *Swift) OnInit(Window) {
+	s.baseRTT = 0
+	s.lastDecrease = -sim.Second
+}
+
+func (s *Swift) target() sim.Time {
+	if s.Target > 0 {
+		return s.Target
+	}
+	return 4 * s.baseRTT
+}
+
+// OnAck implements CongestionControl.
+func (s *Swift) OnAck(w Window, ev AckEvent) {
+	if ev.RTT > 0 && (s.baseRTT == 0 || ev.RTT < s.baseRTT) {
+		s.baseRTT = ev.RTT
+	}
+	if s.baseRTT == 0 {
+		// No sample yet: grow like slow start would.
+		w.SetCwnd(w.Cwnd() + float64(ev.AckedPackets))
+		return
+	}
+	target := s.target()
+	if ev.RTT > 0 && ev.RTT > target {
+		// Over target: proportional decrease, once per RTT.
+		if ev.Now-s.lastDecrease >= ev.RTT {
+			excess := float64(ev.RTT-target) / float64(ev.RTT)
+			factor := 1 - (1-s.Beta)*excess
+			cwnd := w.Cwnd() * factor
+			if cwnd < MinCwnd {
+				cwnd = MinCwnd
+			}
+			w.SetSsthresh(cwnd)
+			w.SetCwnd(cwnd)
+			s.lastDecrease = ev.Now
+		}
+		return
+	}
+	// At or below target: additive increase of AI packets per RTT,
+	// spread across the window's ACKs. (Slow start is implicit: with a
+	// huge initial ssthresh the early exponential phase is harmless
+	// because the first over-target RTT caps it.)
+	if ev.InSlowStart {
+		w.SetCwnd(w.Cwnd() + float64(ev.AckedPackets))
+		return
+	}
+	w.SetCwnd(w.Cwnd() + s.AI*float64(ev.AckedPackets)/w.Cwnd())
+}
+
+// OnPacketLoss implements CongestionControl: loss still halves (Swift
+// retains a loss response as a safety net).
+func (s *Swift) OnPacketLoss(w Window, now sim.Time) {
+	(&Reno{}).OnPacketLoss(w, now)
+	s.lastDecrease = now
+}
+
+// OnTimeout implements CongestionControl.
+func (s *Swift) OnTimeout(w Window, now sim.Time) {
+	(&Reno{}).OnTimeout(w, now)
+	s.lastDecrease = now
+}

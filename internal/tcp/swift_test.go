@@ -1,0 +1,95 @@
+package tcp
+
+import (
+	"testing"
+
+	"mltcp/internal/netsim"
+	"mltcp/internal/sim"
+)
+
+func TestSwiftTransfersAllBytes(t *testing.T) {
+	eng := sim.New()
+	net := testNet(eng, 1, nil)
+	f := NewFlow(eng, 1, net.Left[0], net.Right[0], NewSwift(), Config{})
+	const total = 10_000_000
+	done := false
+	f.Sender.Drained(func(sim.Time) { done = true })
+	f.Sender.Write(total)
+	eng.RunUntil(30 * sim.Second)
+	if !done {
+		t.Fatalf("swift transfer incomplete: %d/%d, stats %+v",
+			f.Sender.TotalBytesAcked(), total, f.Sender.Stats())
+	}
+	if f.Receiver.BytesReceived() != total {
+		t.Errorf("received %d, want %d", f.Receiver.BytesReceived(), total)
+	}
+}
+
+func TestSwiftKeepsQueueShort(t *testing.T) {
+	eng := sim.New()
+	net := testNet(eng, 1, nil) // 100-packet drop-tail bottleneck
+	f := NewFlow(eng, 1, net.Left[0], net.Right[0], NewSwift(), Config{})
+	f.Sender.Write(1 << 40)
+	var maxQ int64
+	for ts := 500 * sim.Millisecond; ts <= 3*sim.Second; ts += 10 * sim.Millisecond {
+		eng.At(ts, func(*sim.Engine) {
+			if q := net.Forward.Queue().Bytes(); q > maxQ {
+				maxQ = q
+			}
+		})
+	}
+	eng.RunUntil(3 * sim.Second)
+	// A delay-based control should hold the standing queue well below
+	// the 100-packet drop point (target = 4×baseRTT ≈ small).
+	if maxQ > 60*netsim.DefaultMTU {
+		t.Errorf("max queue = %.0f pkts, want << 100 (delay-based)", float64(maxQ)/netsim.DefaultMTU)
+	}
+	// While still achieving high utilization.
+	gput := float64(f.Sender.TotalBytesAcked()) * 8 / 3
+	if gput < 70e6 {
+		t.Errorf("goodput = %.1f Mbps, want >= 70", gput/1e6)
+	}
+	if st := f.Sender.Stats(); st.Timeouts > 2 {
+		t.Errorf("swift suffered %d timeouts", st.Timeouts)
+	}
+}
+
+func TestSwiftUnitDecrease(t *testing.T) {
+	s := NewSwift()
+	w := &fakeWindow{cwnd: 100, ssthresh: 1}
+	s.OnInit(w)
+	// Prime base RTT with a low sample.
+	s.OnAck(w, AckEvent{Now: sim.Millisecond, RTT: sim.Millisecond, AckedPackets: 1})
+	base := w.cwnd
+	// RTT way over target (4ms): decrease proportional to excess.
+	s.OnAck(w, AckEvent{Now: 10 * sim.Millisecond, RTT: 16 * sim.Millisecond, AckedPackets: 1})
+	if w.cwnd >= base {
+		t.Fatalf("no decrease on over-target RTT: %v -> %v", base, w.cwnd)
+	}
+	// A second over-target sample within the same RTT must NOT decrease
+	// again (once per RTT).
+	after := w.cwnd
+	s.OnAck(w, AckEvent{Now: 11 * sim.Millisecond, RTT: 16 * sim.Millisecond, AckedPackets: 1})
+	if w.cwnd != after {
+		t.Errorf("second decrease within one RTT: %v -> %v", after, w.cwnd)
+	}
+}
+
+func TestSwiftAdditiveIncreaseBelowTarget(t *testing.T) {
+	s := NewSwift()
+	w := &fakeWindow{cwnd: 50, ssthresh: 10} // not slow start
+	s.OnInit(w)
+	s.OnAck(w, AckEvent{Now: sim.Millisecond, RTT: sim.Millisecond, AckedPackets: 1})
+	base := w.cwnd
+	s.OnAck(w, AckEvent{Now: 2 * sim.Millisecond, RTT: 2 * sim.Millisecond, AckedPackets: 1})
+	want := base + 1.0/base
+	if !near(w.cwnd, want, 1e-9) {
+		t.Errorf("below-target increase: %v, want %v", w.cwnd, want)
+	}
+}
+
+func TestSwiftName(t *testing.T) {
+	if NewSwift().Name() != "swift" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,150 @@
+// Package trace renders experiment output: CSV series for external
+// plotting and compact ASCII charts so every paper figure can be inspected
+// directly in a terminal.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// WriteCSV emits an x column followed by one column per series. Series
+// shorter than xs leave blanks.
+func WriteCSV(w io.Writer, xName string, xs []float64, series ...Series) error {
+	header := []string{xName}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i, x := range xs {
+		row := []string{formatNum(x)}
+		for _, s := range series {
+			if i < len(s.Values) {
+				row = append(row, formatNum(s.Values[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+// Chart renders series as an ASCII line chart of the given size. Each
+// series is drawn with its own glyph; a legend and y-axis labels are
+// included. Points are x-indexed (series index maps linearly onto the
+// width).
+func Chart(title string, width, height int, series ...Series) string {
+	if width < 10 || height < 3 {
+		panic("trace: chart too small")
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 {
+		return title + " (no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i, v := range s.Values {
+			var col int
+			if maxLen == 1 {
+				col = 0
+			} else {
+				col = i * (width - 1) / (maxLen - 1)
+			}
+			row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			grid[row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, line := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%.4g", hi)
+		case height - 1:
+			label = fmt.Sprintf("%.4g", lo)
+		}
+		fmt.Fprintf(&b, "%10s |%s|\n", label, string(line))
+	}
+	legend := make([]string, len(series))
+	for i, s := range series {
+		legend[i] = fmt.Sprintf("%c=%s", glyphs[i%len(glyphs)], s.Name)
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// Table renders rows with aligned columns for terminal output.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, "iter", []float64{1, 2, 3},
+		Series{Name: "a", Values: []float64{1.5, 2.5, 3.5}},
+		Series{Name: "b", Values: []float64{10}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "iter,a,b\n1,1.5,10\n2,2.5,\n3,3.5,\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestChartContainsSeriesAndLegend(t *testing.T) {
+	out := Chart("test chart", 40, 8,
+		Series{Name: "up", Values: []float64{0, 1, 2, 3, 4}},
+		Series{Name: "down", Values: []float64{4, 3, 2, 1, 0}},
+	)
+	for _, want := range []string{"test chart", "*=up", "+=down", "4", "0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// title + height rows + legend + trailing newline
+	if len(lines) != 1+8+1+1 {
+		t.Errorf("chart has %d lines, want 11", len(lines))
+	}
+}
+
+func TestChartEmptyAndFlat(t *testing.T) {
+	if out := Chart("empty", 20, 4); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart = %q", out)
+	}
+	// A flat series must not divide by zero.
+	out := Chart("flat", 20, 4, Series{Name: "c", Values: []float64{5, 5, 5}})
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat chart lost its points:\n%s", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	out := Chart("one", 20, 4, Series{Name: "p", Values: []float64{1}})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestChartPanicsWhenTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for tiny chart")
+		}
+	}()
+	Chart("x", 2, 1)
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"job", "iter(s)"}, [][]string{
+		{"J1", "1.2"},
+		{"J2-long-name", "1.8"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "job") || !strings.Contains(lines[0], "iter(s)") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "J2-long-name") {
+		t.Errorf("row = %q", lines[3])
+	}
+}

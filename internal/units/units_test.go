@@ -1,0 +1,94 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mltcp/internal/sim"
+)
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		r    Rate
+		want string
+	}{
+		{50 * Gbps, "50Gbps"},
+		{100 * Mbps, "100Mbps"},
+		{9600 * BitPerSecond, "9.6Kbps"},
+		{1.5 * Gbps, "1.5Gbps"},
+		{500 * BitPerSecond, "500bps"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", float64(c.r), got, c.want)
+		}
+	}
+}
+
+func TestByteCountString(t *testing.T) {
+	cases := []struct {
+		b    ByteCount
+		want string
+	}{
+		{3750 * MB, "3.75GB"},
+		{1500 * Byte, "1.5KB"},
+		{42 * Byte, "42B"},
+		{2 * GB, "2GB"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.b), got, c.want)
+		}
+	}
+}
+
+func TestTransmissionTime(t *testing.T) {
+	// 1500 bytes at 1Gbps = 12000 bits / 1e9 bps = 12µs.
+	if got := (1 * Gbps).TransmissionTime(1500); got != 12*sim.Microsecond {
+		t.Errorf("1500B at 1Gbps = %v, want 12µs", got)
+	}
+	// 3.75GB at 50Gbps = 30e9 bits / 50e9 = 0.6s.
+	if got := (50 * Gbps).TransmissionTime(int64(3750 * MB)); got != 600*sim.Millisecond {
+		t.Errorf("3.75GB at 50Gbps = %v, want 600ms", got)
+	}
+}
+
+func TestTransmissionTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero rate")
+		}
+	}()
+	Rate(0).TransmissionTime(1)
+}
+
+func TestBytesIn(t *testing.T) {
+	if got := (1 * Gbps).BytesIn(sim.Second); got != 125_000_000 {
+		t.Errorf("1Gbps for 1s = %d bytes, want 125e6", got)
+	}
+	if got := (1 * Gbps).BytesIn(0); got != 0 {
+		t.Errorf("zero interval = %d bytes, want 0", got)
+	}
+	if got := (1 * Gbps).BytesIn(-sim.Second); got != 0 {
+		t.Errorf("negative interval = %d bytes, want 0", got)
+	}
+}
+
+// Property: TransmissionTime and BytesIn are approximate inverses — sending
+// for exactly the transmission time of n bytes yields ~n bytes.
+func TestRateRoundTripProperty(t *testing.T) {
+	prop := func(kb uint16) bool {
+		bytes := int64(kb)*1000 + 1
+		r := 10 * Gbps
+		d := r.TransmissionTime(bytes)
+		got := r.BytesIn(d)
+		diff := got - bytes
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2 // rounding slack of a couple of bytes
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

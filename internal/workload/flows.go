@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mltcp/internal/sim"
+)
+
+// SizeDist is an empirical flow-size distribution, sampled by inverse
+// transform with log-linear interpolation between anchor points. It
+// models the conventional datacenter traffic §2 contrasts with DNN jobs
+// ("bursty and short", heavy-tailed).
+type SizeDist struct {
+	name    string
+	bytes   []float64 // ascending sizes
+	cumProb []float64 // matching cumulative probabilities, ending at 1
+}
+
+// NewSizeDist builds a distribution from (size, cumulative probability)
+// anchors. Probabilities must be ascending and end at 1.
+func NewSizeDist(name string, sizes []float64, cum []float64) *SizeDist {
+	if len(sizes) != len(cum) || len(sizes) < 2 {
+		panic("workload: size distribution needs matching anchors (>= 2)")
+	}
+	if !sort.Float64sAreSorted(sizes) || !sort.Float64sAreSorted(cum) {
+		panic(fmt.Sprintf("workload: %s anchors must be ascending", name))
+	}
+	if cum[len(cum)-1] != 1 {
+		panic(fmt.Sprintf("workload: %s cumulative probability must end at 1", name))
+	}
+	return &SizeDist{name: name, bytes: sizes, cumProb: cum}
+}
+
+// WebSearch approximates the web-search workload used by the DCTCP and
+// pFabric evaluations: mostly short query traffic with a heavy tail of
+// multi-megabyte background flows.
+func WebSearch() *SizeDist {
+	return NewSizeDist("websearch",
+		[]float64{6e3, 13e3, 19e3, 33e3, 53e3, 133e3, 667e3, 1.7e6, 6.7e6, 20e6, 30e6},
+		[]float64{0.15, 0.20, 0.30, 0.40, 0.53, 0.60, 0.70, 0.80, 0.90, 0.97, 1.0})
+}
+
+// DataMining approximates the data-mining workload from the same papers:
+// even more mass at tiny flows, an even heavier tail.
+func DataMining() *SizeDist {
+	return NewSizeDist("datamining",
+		[]float64{100, 1e3, 2e3, 5e3, 50e3, 1e6, 10e6, 100e6},
+		[]float64{0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99, 1.0})
+}
+
+// Name returns the distribution's label.
+func (d *SizeDist) Name() string { return d.name }
+
+// Sample draws one flow size in bytes (at least 1).
+func (d *SizeDist) Sample(rng *sim.RNG) int64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(d.cumProb, u)
+	if i == 0 {
+		return int64(d.bytes[0])
+	}
+	if i >= len(d.bytes) {
+		return int64(d.bytes[len(d.bytes)-1])
+	}
+	// Log-linear interpolation between anchors captures the tail
+	// better than linear.
+	p0, p1 := d.cumProb[i-1], d.cumProb[i]
+	frac := (u - p0) / (p1 - p0)
+	lo, hi := math.Log(d.bytes[i-1]), math.Log(d.bytes[i])
+	v := math.Exp(lo + frac*(hi-lo))
+	if v < 1 {
+		v = 1
+	}
+	return int64(v)
+}
+
+// Mean estimates the distribution's mean by quadrature over the anchors
+// (exact enough for load calculations).
+func (d *SizeDist) Mean() float64 {
+	var mean float64
+	prev := 0.0
+	for i := range d.bytes {
+		p := d.cumProb[i] - prev
+		sz := d.bytes[i]
+		if i > 0 {
+			sz = math.Sqrt(d.bytes[i-1] * d.bytes[i]) // log-midpoint
+		}
+		mean += p * sz
+		prev = d.cumProb[i]
+	}
+	return mean
+}
+
+// PoissonArrivals generates exponentially distributed inter-arrival gaps
+// for a target arrival rate (flows per second).
+type PoissonArrivals struct {
+	rate float64
+	rng  *sim.RNG
+}
+
+// NewPoissonArrivals builds a generator with the given rate.
+func NewPoissonArrivals(ratePerSec float64, rng *sim.RNG) *PoissonArrivals {
+	if ratePerSec <= 0 {
+		panic("workload: arrival rate must be positive")
+	}
+	return &PoissonArrivals{rate: ratePerSec, rng: rng}
+}
+
+// Next returns the gap to the next arrival.
+func (p *PoissonArrivals) Next() sim.Time {
+	u := 1 - p.rng.Float64() // avoid log(0)
+	return sim.FromSeconds(-math.Log(u) / p.rate)
+}

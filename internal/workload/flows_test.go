@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mltcp/internal/sim"
+)
+
+func TestWebSearchSampleRange(t *testing.T) {
+	d := WebSearch()
+	rng := sim.NewRNG(1)
+	var min, max int64 = 1 << 62, 0
+	for i := 0; i < 50000; i++ {
+		s := d.Sample(rng)
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+		if s < 1 || s > 30_000_000 {
+			t.Fatalf("sample %d outside distribution support", s)
+		}
+	}
+	if min > 10_000 {
+		t.Errorf("never sampled a small flow: min %d", min)
+	}
+	if max < 10_000_000 {
+		t.Errorf("never sampled the heavy tail: max %d", max)
+	}
+}
+
+func TestWebSearchShortFlowMass(t *testing.T) {
+	// Over half the flows should be under 100 KB (the short-query mass).
+	d := WebSearch()
+	rng := sim.NewRNG(2)
+	short := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if d.Sample(rng) < 100_000 {
+			short++
+		}
+	}
+	frac := float64(short) / n
+	if frac < 0.5 || frac > 0.75 {
+		t.Errorf("short-flow fraction = %.2f, want ~0.55-0.65", frac)
+	}
+}
+
+func TestDataMiningHeavierTail(t *testing.T) {
+	// Data mining has more tiny flows AND a heavier tail than websearch.
+	rng1, rng2 := sim.NewRNG(3), sim.NewRNG(3)
+	dm, ws := DataMining(), WebSearch()
+	tiny := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if dm.Sample(rng1) < 1000 {
+			tiny++
+		}
+		_ = ws.Sample(rng2)
+	}
+	if frac := float64(tiny) / n; frac < 0.4 {
+		t.Errorf("data mining tiny-flow fraction = %.2f, want ~0.5", frac)
+	}
+}
+
+func TestSizeDistMean(t *testing.T) {
+	d := WebSearch()
+	analytic := d.Mean()
+	rng := sim.NewRNG(4)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(rng))
+	}
+	empirical := sum / n
+	ratio := empirical / analytic
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Errorf("empirical mean %.0f vs analytic %.0f (ratio %.2f)", empirical, analytic, ratio)
+	}
+}
+
+func TestSizeDistValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mismatched": func() { NewSizeDist("x", []float64{1, 2}, []float64{1}) },
+		"descending": func() { NewSizeDist("x", []float64{2, 1}, []float64{0.5, 1}) },
+		"not-to-one": func() { NewSizeDist("x", []float64{1, 2}, []float64{0.5, 0.9}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPoissonArrivalsRate(t *testing.T) {
+	rng := sim.NewRNG(5)
+	p := NewPoissonArrivals(100, rng) // 100 flows/sec
+	var total sim.Time
+	const n = 50000
+	for i := 0; i < n; i++ {
+		g := p.Next()
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		total += g
+	}
+	mean := total.Seconds() / n
+	if mean < 0.009 || mean > 0.011 {
+		t.Errorf("mean gap = %.4fs, want ~0.01s", mean)
+	}
+}
+
+// Property: samples are always within the distribution's support.
+func TestSampleSupportProperty(t *testing.T) {
+	d := DataMining()
+	prop := func(seed uint32) bool {
+		rng := sim.NewRNG(uint64(seed))
+		for i := 0; i < 100; i++ {
+			s := d.Sample(rng)
+			if s < 1 || s > 100_000_000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package workload models distributed DNN training and fine-tuning jobs as
+// the paper does (§2, §4): a job is a periodic loop whose iteration
+// alternates a compute phase of fixed duration with a communication phase
+// that moves a fixed byte volume, and — unlike classical periodic traffic —
+// the next iteration starts only when the previous one completes.
+package workload
+
+import (
+	"fmt"
+
+	"mltcp/internal/sim"
+	"mltcp/internal/units"
+)
+
+// Profile describes a model's per-iteration resource shape.
+type Profile struct {
+	// Name labels the model ("gpt3", "gpt2", ...).
+	Name string
+	// ComputeTime is the compute phase duration per iteration.
+	ComputeTime sim.Time
+	// CommBytes is the communication volume per iteration (the
+	// all-reduce of gradients for the job's parallelization strategy).
+	CommBytes units.ByteCount
+}
+
+// IdealIterTime returns the iteration time when the job runs alone on a
+// link of the given capacity: T = compute + bytes/capacity (Figure 5a).
+func (p Profile) IdealIterTime(c units.Rate) sim.Time {
+	return p.ComputeTime + c.TransmissionTime(int64(p.CommBytes))
+}
+
+// CommFraction returns a = (comm time at full rate) / T, the fraction of
+// the iteration spent communicating in isolation (§4's a).
+func (p Profile) CommFraction(c units.Rate) float64 {
+	comm := c.TransmissionTime(int64(p.CommBytes))
+	return comm.Seconds() / p.IdealIterTime(c).Seconds()
+}
+
+func (p Profile) String() string {
+	return fmt.Sprintf("%s{compute %v, comm %v}", p.Name, p.ComputeTime, p.CommBytes)
+}
+
+// Calibrated profiles. GPT3 and GPT2 are tuned so that on the paper's
+// 50 Gbps bottleneck the ideal iteration times match §2's testbed numbers
+// (GPT-3-like 1.2 s, GPT-2-like 1.8 s), a fully interleaved schedule of
+// {GPT3, 3×GPT2} exists (offsets 0/0.4/1.0/1.6 s give zero overlap over the
+// 3.6 s hyperperiod), and SRPT head-of-line-blocks the GPT-3 job by exactly
+// the paper's 1.5× (its comm waits for three 0.2 s GPT-2 phases every
+// iteration: 1.2 s + 3×0.2 s = 1.8 s). The remaining profiles provide
+// additional plausible shapes for extended scenarios; their absolute
+// numbers are not calibrated against the paper.
+var (
+	// GPT3 has a 0.8s compute phase and 2.5GB per iteration: 0.4s of
+	// communication at 50 Gbps, so T = 1.2s and a = 1/3.
+	GPT3 = Profile{Name: "gpt3", ComputeTime: 800 * sim.Millisecond, CommBytes: 2500 * units.MB}
+	// GPT2 has a 1.6s compute phase and 1.25GB per iteration: 0.2s of
+	// communication at 50 Gbps, so T = 1.8s and a = 1/9.
+	GPT2 = Profile{Name: "gpt2", ComputeTime: 1600 * sim.Millisecond, CommBytes: 1250 * units.MB}
+	// BERT is a lighter fine-tuning job.
+	BERT = Profile{Name: "bert", ComputeTime: 400 * sim.Millisecond, CommBytes: 1250 * units.MB}
+	// ResNet50 is compute-heavy with a small gradient exchange.
+	ResNet50 = Profile{Name: "resnet50", ComputeTime: 250 * sim.Millisecond, CommBytes: 312 * units.MB}
+	// VGG16 is communication-heavy relative to its compute.
+	VGG16 = Profile{Name: "vgg16", ComputeTime: 200 * sim.Millisecond, CommBytes: 1656 * units.MB}
+	// DLRM exchanges large embedding gradients.
+	DLRM = Profile{Name: "dlrm", ComputeTime: 300 * sim.Millisecond, CommBytes: 2500 * units.MB}
+)
+
+// Profiles returns all built-in profiles keyed by name.
+func Profiles() map[string]Profile {
+	out := map[string]Profile{}
+	for _, p := range []Profile{GPT3, GPT2, BERT, ResNet50, VGG16, DLRM} {
+		out[p.Name] = p
+	}
+	return out
+}
+
+// Scale returns a copy of p with both compute time and bytes multiplied by
+// k, preserving a and T's ratio structure at a different absolute scale.
+func (p Profile) Scale(k float64) Profile {
+	return Profile{
+		Name:        fmt.Sprintf("%s×%.3g", p.Name, k),
+		ComputeTime: sim.Time(float64(p.ComputeTime) * k),
+		CommBytes:   units.ByteCount(float64(p.CommBytes) * k),
+	}
+}
+
+// Spec instantiates a profile as a concrete job in an experiment.
+type Spec struct {
+	// Name labels the job ("J1", ...). Empty uses the profile name.
+	Name string
+	// Profile is the job's model shape.
+	Profile Profile
+	// StartOffset delays the job's first communication phase.
+	StartOffset sim.Time
+	// NoiseStd is the standard deviation of zero-mean Gaussian noise
+	// added to each iteration's compute time (§4's perturbation model).
+	NoiseStd sim.Time
+	// Seed drives the job's private noise stream.
+	Seed uint64
+}
+
+// Label returns the job's display name.
+func (s Spec) Label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.Profile.Name
+}
+
+// DemandTrace samples the job's isolated traffic pattern (Figure 1): full
+// line rate during each communication phase, zero during compute, starting
+// at the spec's offset. The result has one sample per bucket up to `until`.
+func DemandTrace(spec Spec, capacity units.Rate, until, bucket sim.Time) []units.Rate {
+	if bucket <= 0 {
+		panic("workload: bucket must be positive")
+	}
+	n := int(until / bucket)
+	out := make([]units.Rate, n)
+	commDur := capacity.TransmissionTime(int64(spec.Profile.CommBytes))
+	period := spec.Profile.IdealIterTime(capacity)
+	for i := 0; i < n; i++ {
+		t := sim.Time(i)*bucket + bucket/2
+		if t < spec.StartOffset {
+			continue
+		}
+		phase := (t - spec.StartOffset) % period
+		if phase < commDur {
+			out[i] = capacity
+		}
+	}
+	return out
+}
