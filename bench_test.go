@@ -335,6 +335,39 @@ func BenchmarkCollectiveRing(b *testing.B) {
 	b.ReportMetric(slow, "steady-slowdown-vs-ideal")
 }
 
+// BenchmarkSweepSerialVsParallel runs the slope/intercept ablation grid
+// serially and on a worker per CPU. On a multi-core machine the parallel
+// variant's ns/op drops toward serial/cores — the internal/harness speedup
+// that keeps growing sweeps from growing wall-clock time. Both report the
+// same deterministic results (asserted by the determinism tests).
+func BenchmarkSweepSerialVsParallel(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pts := experiments.SlopeInterceptSweepWorkers(10*sim.Millisecond, 1); len(pts) != 7 {
+				b.Fatal("bad result")
+			}
+		}
+	})
+	b.Run("workers=max", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pts := experiments.SlopeInterceptSweepWorkers(10*sim.Millisecond, 0); len(pts) != 7 {
+				b.Fatal("bad result")
+			}
+		}
+	})
+}
+
+// BenchmarkFCTGridParallel runs the full scheme × load FCT matrix through
+// the harness at one worker per CPU — the heaviest grid in the suite and
+// the one that gains most from the pool.
+func BenchmarkFCTGridParallel(b *testing.B) {
+	var grid []experiments.FCTGridPoint
+	for i := 0; i < b.N; i++ {
+		grid = experiments.FCTGrid(nil, []float64{0.4, 0.6}, 10*sim.Second, 42, 0)
+	}
+	b.ReportMetric(float64(len(grid)), "grid-cells")
+}
+
 // BenchmarkScalability reports the centralized optimizer's wall time and
 // MLTCP's convergence iteration at the largest swept job count.
 func BenchmarkScalability(b *testing.B) {

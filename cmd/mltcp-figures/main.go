@@ -35,6 +35,7 @@ var (
 	csvFlag = flag.Bool("csv", false, "emit CSV series instead of tables/charts")
 	svgDir  = flag.String("svgdir", "", "also write each figure as an SVG file into this directory")
 	reportF = flag.String("report", "", "write a full Markdown paper-vs-measured report to this file and exit")
+	workers = flag.Int("workers", 0, "worker goroutines for grid figures (sweep, scale, fct, robust); 0 = one per CPU")
 )
 
 // saveSVG writes a chart into -svgdir (no-op when unset).
@@ -366,7 +367,7 @@ func multiRes() {
 }
 
 func sweep() {
-	pts := experiments.SlopeInterceptSweep(10 * sim.Millisecond)
+	pts := experiments.SlopeInterceptSweepWorkers(10*sim.Millisecond, *workers)
 	fmt.Println("ablation: Equation 2 constants vs convergence (3 GPT-2 jobs, 10ms noise)")
 	var rows [][]string
 	for _, p := range pts {
@@ -385,7 +386,7 @@ func sweep() {
 }
 
 func scale() {
-	pts := experiments.Scalability(nil)
+	pts := experiments.ScalabilityWorkers(nil, *workers)
 	fmt.Println("scalability: centralized optimizer cost vs MLTCP distributed convergence")
 	var rows [][]string
 	for _, p := range pts {
@@ -403,8 +404,8 @@ func scale() {
 func fct() {
 	fmt.Println("baseline validation: flow completion times on websearch traffic (load 0.6)")
 	var rows [][]string
-	for _, scheme := range []string{experiments.FCTReno, experiments.FCTDCTCP, experiments.FCTPFabric} {
-		r := experiments.RunFCT(scheme, 0.6, 20*sim.Second, 42)
+	grid := experiments.FCTGrid(nil, []float64{0.6}, 20*sim.Second, 42, *workers)
+	for _, r := range grid {
 		rows = append(rows, []string{
 			r.Scheme,
 			fmt.Sprintf("%d", r.Completed),
@@ -426,7 +427,7 @@ func mixed() {
 }
 
 func robust() {
-	pts := experiments.NoiseRobustness(nil, 0)
+	pts := experiments.NoiseRobustnessWorkers(nil, 0, *workers)
 	fmt.Println("robustness: static centralized schedule vs MLTCP under compute noise")
 	var rows [][]string
 	for _, p := range pts {

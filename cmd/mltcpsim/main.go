@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,8 @@ import (
 	"mltcp/internal/core"
 	"mltcp/internal/experiments"
 	"mltcp/internal/fluid"
+	"mltcp/internal/harness"
+	"mltcp/internal/metrics"
 	"mltcp/internal/sched"
 	"mltcp/internal/sim"
 	"mltcp/internal/trace"
@@ -39,6 +42,9 @@ var (
 	gbpsFlag     = flag.Float64("gbps", 50, "bottleneck capacity in Gbps (fluid level)")
 	chartFlag    = flag.Bool("chart", false, "print an ASCII bandwidth chart (fluid level)")
 	skipFlag     = flag.Int("skip", 20, "iterations to skip in steady-state averages")
+	runsFlag     = flag.Int("runs", 1, "seeded replicas of the scenario; >1 reports per-job stats across runs (fluid level)")
+	seedFlag     = flag.Uint64("seed", 1, "base seed; replica r derives its jobs' noise streams from (seed, r)")
+	workersFlag  = flag.Int("workers", 0, "worker goroutines for -runs replication; 0 = one per CPU")
 )
 
 func main() {
@@ -152,6 +158,11 @@ func runFluid(profiles []workload.Profile) {
 		os.Exit(2)
 	}
 
+	if *runsFlag > 1 {
+		runReplicated(profiles, capacity, policy, agg, offsets)
+		return
+	}
+
 	jobs := make([]*fluid.Job, len(profiles))
 	for i, p := range profiles {
 		jobs[i] = &fluid.Job{
@@ -208,7 +219,72 @@ func runFluid(profiles []workload.Profile) {
 	}
 }
 
+// runReplicated fans *runsFlag seeded replicas of the fluid scenario over
+// the worker pool. Replica r's jobs draw their compute-noise streams from
+// seeds derived from (base seed, r), so the whole batch is reproducible:
+// the same -seed prints the same table at any -workers value.
+func runReplicated(profiles []workload.Profile, capacity units.Rate,
+	policy fluid.Policy, agg *core.AggFunc, offsets []sim.Time) {
+	type runStats struct {
+		slowdown []float64
+		iters    []int
+	}
+	cfg := harness.Config{Workers: *workersFlag, BaseSeed: *seedFlag}
+	runs := harness.Map(context.Background(), cfg, *runsFlag, func(pt harness.Point) runStats {
+		jobs := make([]*fluid.Job, len(profiles))
+		for i, p := range profiles {
+			jobs[i] = &fluid.Job{
+				Spec: workload.Spec{
+					Name:        fmt.Sprintf("J%d(%s)", i+1, p.Name),
+					Profile:     p,
+					StartOffset: offsets[i],
+					NoiseStd:    sim.FromDuration(*noiseFlag),
+					Seed:        sim.DeriveSeed(pt.Seed, uint64(i)),
+				},
+				Agg: agg,
+			}
+		}
+		s := fluid.New(fluid.Config{Capacity: capacity, Policy: policy}, jobs)
+		s.Run(sim.FromDuration(*durationFlag))
+		st := runStats{slowdown: make([]float64, len(jobs)), iters: make([]int, len(jobs))}
+		for i, j := range jobs {
+			ideal := j.Spec.Profile.IdealIterTime(capacity)
+			skip := *skipFlag
+			if n := len(j.IterDurations); skip >= n {
+				skip = n / 2
+			}
+			st.slowdown[i] = j.AvgIterTime(skip).Seconds() / ideal.Seconds()
+			st.iters[i] = j.Iterations()
+		}
+		return st
+	})
+
+	fmt.Printf("policy=%s capacity=%v duration=%v runs=%d seed=%d\n",
+		*policyFlag, capacity, *durationFlag, *runsFlag, *seedFlag)
+	var rows [][]string
+	for i, p := range profiles {
+		var sl metrics.Series
+		iters := 0
+		for _, r := range runs {
+			sl = append(sl, r.slowdown[i])
+			iters += r.iters[i]
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("J%d(%s)", i+1, p.Name),
+			fmt.Sprintf("%d", iters/len(runs)),
+			fmt.Sprintf("%.3f", sl.Mean()),
+			fmt.Sprintf("%.3f", sl.Std()),
+			fmt.Sprintf("%.3f", sl.Min()),
+			fmt.Sprintf("%.3f", sl.Max()),
+		})
+	}
+	fmt.Print(trace.Table([]string{"job", "avg iters", "mean slowdown", "std", "min", "max"}, rows))
+}
+
 func runPacket(profiles []workload.Profile) {
+	if *runsFlag > 1 {
+		fmt.Fprintln(os.Stderr, "note: -runs replication applies to -level fluid only; running a single packet-level simulation")
+	}
 	for _, p := range profiles {
 		if p.Name != "gpt2" {
 			fmt.Fprintln(os.Stderr, "packet level currently runs identical gpt2 jobs (scaled to a 500 Mbps bottleneck)")

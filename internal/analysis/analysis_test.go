@@ -13,6 +13,7 @@ func params(alpha float64) Params {
 }
 
 func TestShiftZeroAtBoundaries(t *testing.T) {
+	t.Parallel()
 	p := params(0.5)
 	if got := p.Shift(0); got != 0 {
 		t.Errorf("Shift(0) = %v, want 0", got)
@@ -27,6 +28,7 @@ func TestShiftZeroAtBoundaries(t *testing.T) {
 }
 
 func TestShiftPositiveInOverlapWindow(t *testing.T) {
+	t.Parallel()
 	p := params(1.0 / 6)
 	aT := p.Alpha * p.Period.Seconds()
 	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
@@ -38,6 +40,7 @@ func TestShiftPositiveInOverlapWindow(t *testing.T) {
 }
 
 func TestShiftMatchesEquationThree(t *testing.T) {
+	t.Parallel()
 	// Hand-evaluate Eq. 3 at Δ = 0.15s with a=1/6, T=1.8s, S=1.75, I=0.25.
 	p := params(1.0 / 6)
 	aT := 0.3
@@ -50,6 +53,7 @@ func TestShiftMatchesEquationThree(t *testing.T) {
 }
 
 func TestShiftAntisymmetricNearPeriod(t *testing.T) {
+	t.Parallel()
 	p := params(0.5)
 	d := 100 * sim.Millisecond
 	fwd := p.Shift(d)
@@ -60,6 +64,7 @@ func TestShiftAntisymmetricNearPeriod(t *testing.T) {
 }
 
 func TestShiftZeroOnInterleavedPlateau(t *testing.T) {
+	t.Parallel()
 	p := params(1.0 / 6) // aT = 0.3s, plateau [0.3, 1.5]
 	for _, d := range []sim.Time{400 * sim.Millisecond, 900 * sim.Millisecond, 1400 * sim.Millisecond} {
 		if got := p.Shift(d); got != 0 {
@@ -69,6 +74,7 @@ func TestShiftZeroOnInterleavedPlateau(t *testing.T) {
 }
 
 func TestLossShape(t *testing.T) {
+	t.Parallel()
 	// Figure 5(c): a = 1/2 -> loss decreases to a minimum at T/2, rises
 	// back to ~0 at T.
 	p := params(0.5)
@@ -92,6 +98,7 @@ func TestLossShape(t *testing.T) {
 }
 
 func TestLossMinimumIsGlobal(t *testing.T) {
+	t.Parallel()
 	// §4: "the loss function obtained by MLTCP is guaranteed to have
 	// only global optima". Check the minimum set is exactly the
 	// interleaved plateau for a < 1/2.
@@ -116,6 +123,7 @@ func TestLossMinimumIsGlobal(t *testing.T) {
 // Property: the loss's numerical derivative equals the negative shift
 // (Equation 4 is the negative integral of Equation 3).
 func TestLossDerivativeIsNegativeShift(t *testing.T) {
+	t.Parallel()
 	p := params(0.4)
 	prop := func(frac8 uint8) bool {
 		frac := float64(frac8)/255*0.9 + 0.02 // within (0, 0.92)
@@ -131,6 +139,7 @@ func TestLossDerivativeIsNegativeShift(t *testing.T) {
 }
 
 func TestDescendConverges(t *testing.T) {
+	t.Parallel()
 	// §2: MLTCP converges within ~20 iterations in the testbed; the
 	// idealized gradient descent should interleave comparably fast.
 	p := params(1.0 / 6)
@@ -150,6 +159,7 @@ func TestDescendConverges(t *testing.T) {
 }
 
 func TestDescendStationaryAtZero(t *testing.T) {
+	t.Parallel()
 	// Δ=0 is the unstable equilibrium: pure descent cannot leave it
 	// (in practice noise breaks the tie; see the fluid tests).
 	p := params(0.5)
@@ -162,6 +172,7 @@ func TestDescendStationaryAtZero(t *testing.T) {
 }
 
 func TestDescendFromAboveShrinksBack(t *testing.T) {
+	t.Parallel()
 	// Starting with Δ just below T (overlap from behind), the shift is
 	// negative and the trajectory must fall back onto the plateau.
 	p := params(1.0 / 6)
@@ -177,6 +188,7 @@ func TestDescendFromAboveShrinksBack(t *testing.T) {
 }
 
 func TestNoiseErrorStd(t *testing.T) {
+	t.Parallel()
 	// 2σ(1 + I/S) with the paper's constants: 2σ(1 + 1/7).
 	got := NoiseErrorStd(70*sim.Millisecond, 1.75, 0.25)
 	want := sim.FromSeconds(2 * 0.070 * (1 + 0.25/1.75))
@@ -186,6 +198,7 @@ func TestNoiseErrorStd(t *testing.T) {
 }
 
 func TestParamsValidation(t *testing.T) {
+	t.Parallel()
 	for name, p := range map[string]Params{
 		"zero-slope": {Slope: 0, Intercept: 1, Alpha: 0.5, Period: sim.Second},
 		"bad-alpha":  {Slope: 1, Intercept: 1, Alpha: 0, Period: sim.Second},
@@ -205,6 +218,7 @@ func TestParamsValidation(t *testing.T) {
 // Property: the closed-form loss agrees with the Simpson-integrated loss
 // across the whole period and a range of shapes.
 func TestLossClosedFormMatchesNumeric(t *testing.T) {
+	t.Parallel()
 	prop := func(alpha8, frac8 uint8) bool {
 		alpha := 0.05 + float64(alpha8)/255*0.45 // (0.05, 0.5]
 		p := DefaultParams(alpha, 1800*sim.Millisecond)
@@ -219,6 +233,7 @@ func TestLossClosedFormMatchesNumeric(t *testing.T) {
 }
 
 func TestLossClosedFormBoundaryValues(t *testing.T) {
+	t.Parallel()
 	p := params(0.5)
 	if got := p.LossClosedForm(0); got != 0 {
 		t.Errorf("closed Loss(0) = %v", got)

@@ -20,6 +20,7 @@ func jitter(n int) []sim.Time {
 }
 
 func TestMultiThreeJobsConverge(t *testing.T) {
+	t.Parallel()
 	m := multi(3, 1.0/9)
 	traj := m.DescendMulti(jitter(3), 120)
 	it := m.ConvergenceIterationMulti(traj, sim.Millisecond)
@@ -32,6 +33,7 @@ func TestMultiThreeJobsConverge(t *testing.T) {
 }
 
 func TestMultiFourJobsTightConverge(t *testing.T) {
+	t.Parallel()
 	// Four jobs at a = 0.2: aggregate duty 80%, tight but feasible.
 	m := multi(4, 0.2)
 	if !m.FeasibleMulti() {
@@ -46,6 +48,7 @@ func TestMultiFourJobsTightConverge(t *testing.T) {
 }
 
 func TestMultiLossDecreasesAlongDescent(t *testing.T) {
+	t.Parallel()
 	// The defining property of gradient descent: the loss is
 	// non-increasing along the trajectory.
 	m := multi(3, 1.0/6)
@@ -61,6 +64,7 @@ func TestMultiLossDecreasesAlongDescent(t *testing.T) {
 }
 
 func TestMultiInfeasibleNeverInterleaves(t *testing.T) {
+	t.Parallel()
 	// Three jobs at a = 0.4: aggregate duty 120% > 1, no interleaved
 	// schedule exists (the §4 compatibility assumption is violated).
 	m := multi(3, 0.4)
@@ -74,6 +78,7 @@ func TestMultiInfeasibleNeverInterleaves(t *testing.T) {
 }
 
 func TestMultiConvergedStateIsStationary(t *testing.T) {
+	t.Parallel()
 	m := multi(3, 1.0/9)
 	// A hand-built interleaved schedule: offsets 0, 600ms, 1200ms
 	// (gaps 600ms >> aT = 200ms).
@@ -93,6 +98,7 @@ func TestMultiConvergedStateIsStationary(t *testing.T) {
 // Property: descent from random feasible jitters always lands interleaved
 // for 3 jobs at low duty, and the minimum pairwise gap ends at least aT.
 func TestMultiDescentProperty(t *testing.T) {
+	t.Parallel()
 	m := multi(3, 1.0/9)
 	aT := m.Alpha * m.Period.Seconds()
 	prop := func(a, b uint8) bool {
@@ -117,6 +123,7 @@ func TestMultiDescentProperty(t *testing.T) {
 }
 
 func TestMultiValidation(t *testing.T) {
+	t.Parallel()
 	for name, fn := range map[string]func(){
 		"n-too-small":  func() { multi(1, 0.2).TotalLoss([]sim.Time{0}) },
 		"offset-count": func() { multi(3, 0.2).TotalLoss([]sim.Time{0}) },

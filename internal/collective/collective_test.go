@@ -45,6 +45,7 @@ func alternating(net *netsim.Dumbbell, w int) []*netsim.Host {
 }
 
 func TestRingAllReduceCompletes(t *testing.T) {
+	t.Parallel()
 	eng := sim.New()
 	net := collectiveNet(eng, 2)
 	const bytes = 4_000_000
@@ -74,6 +75,7 @@ func TestRingAllReduceCompletes(t *testing.T) {
 }
 
 func TestRingStepBarrier(t *testing.T) {
+	t.Parallel()
 	// With one slow link (longer path), no flow may start step k+1
 	// until every flow finished step k: total writes stay in lockstep.
 	eng := sim.New()
@@ -107,6 +109,7 @@ func TestRingStepBarrier(t *testing.T) {
 }
 
 func TestRingRepeatedAllReduces(t *testing.T) {
+	t.Parallel()
 	eng := sim.New()
 	net := collectiveNet(eng, 1)
 	r := NewRing(eng, []*netsim.Host{net.Left[0], net.Right[0]}, 1, 1_000_000, renoFactory, tcp.Config{})
@@ -129,6 +132,7 @@ func TestRingRepeatedAllReduces(t *testing.T) {
 }
 
 func TestRingDoubleStartPanics(t *testing.T) {
+	t.Parallel()
 	eng := sim.New()
 	net := collectiveNet(eng, 1)
 	r := NewRing(eng, []*netsim.Host{net.Left[0], net.Right[0]}, 1, 1_000_000, renoFactory, tcp.Config{})
@@ -142,6 +146,7 @@ func TestRingDoubleStartPanics(t *testing.T) {
 }
 
 func TestRingValidation(t *testing.T) {
+	t.Parallel()
 	eng := sim.New()
 	net := collectiveNet(eng, 1)
 	for name, fn := range map[string]func(){
@@ -168,6 +173,7 @@ func TestRingValidation(t *testing.T) {
 // the bottleneck link") — interleave their all-reduce phases and reach the
 // ideal iteration time.
 func TestTwoRingJobsInterleave(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("packet-level run takes ~12s")
 	}
@@ -228,6 +234,7 @@ func TestTwoRingJobsInterleave(t *testing.T) {
 }
 
 func TestSelectorClasses(t *testing.T) {
+	t.Parallel()
 	s := DefaultSelector(400 * sim.Millisecond)
 	if got := len(s.Classes()); got != 3 {
 		t.Fatalf("classes = %v", s.Classes())
@@ -255,6 +262,7 @@ func TestSelectorClasses(t *testing.T) {
 // deterministic drop-tail flows otherwise phase-lock into arbitrary
 // winners regardless of their increase factors.
 func TestLatencyClassAcquiresBandwidth(t *testing.T) {
+	t.Parallel()
 	eng := sim.New()
 	net := collectiveNet(eng, 2)
 	net.Forward.LossProb = 0.001
@@ -276,6 +284,7 @@ func TestLatencyClassAcquiresBandwidth(t *testing.T) {
 }
 
 func TestSelectorValidation(t *testing.T) {
+	t.Parallel()
 	s := NewSelector()
 	defer func() {
 		if recover() == nil {

@@ -11,6 +11,7 @@ import (
 )
 
 func TestPSExchangeCompletes(t *testing.T) {
+	t.Parallel()
 	eng := sim.New()
 	net := collectiveNet(eng, 3) // workers on left 0,1; server right 2
 	const bytes = 2_000_000
@@ -39,6 +40,7 @@ func TestPSExchangeCompletes(t *testing.T) {
 }
 
 func TestPSPullWaitsForAllPushes(t *testing.T) {
+	t.Parallel()
 	eng := sim.New()
 	net := collectiveNet(eng, 3)
 	ps := NewParameterServer(eng,
@@ -75,6 +77,7 @@ func TestPSPullWaitsForAllPushes(t *testing.T) {
 }
 
 func TestPSValidation(t *testing.T) {
+	t.Parallel()
 	eng := sim.New()
 	net := collectiveNet(eng, 1)
 	for name, fn := range map[string]func(){
@@ -108,6 +111,7 @@ func TestPSValidation(t *testing.T) {
 // interleave — §3.1's parallelization-strategy independence with the other
 // classic pattern (push incast + pull fan-out).
 func TestTwoPSJobsInterleave(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("packet-level run takes ~10s")
 	}

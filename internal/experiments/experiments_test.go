@@ -7,6 +7,7 @@ import (
 )
 
 func TestFig1TrafficPatterns(t *testing.T) {
+	t.Parallel()
 	res := Fig1()
 	if len(res.Names) != 4 || len(res.Demand) != 4 {
 		t.Fatalf("want 4 jobs, got %d", len(res.Names))
@@ -41,6 +42,7 @@ func TestFig1TrafficPatterns(t *testing.T) {
 }
 
 func TestFig2CentralizedAchievesIdeal(t *testing.T) {
+	t.Parallel()
 	res := Fig2Centralized()
 	// §2: average iteration times 1.2s (J1) and 1.8s (J2-J4).
 	for _, j := range res.Jobs {
@@ -55,6 +57,7 @@ func TestFig2CentralizedAchievesIdeal(t *testing.T) {
 }
 
 func TestFig2SRPTHeadOfLineBlocksJ1(t *testing.T) {
+	t.Parallel()
 	res := Fig2SRPT()
 	j1 := res.Jobs[0]
 	// §2: "J1 incurs a slowdown of 1.5X"; all four average 1.8s.
@@ -69,6 +72,7 @@ func TestFig2SRPTHeadOfLineBlocksJ1(t *testing.T) {
 }
 
 func TestFig2MLTCPMatchesCentralized(t *testing.T) {
+	t.Parallel()
 	res := Fig2MLTCP()
 	// §2: converges within 5% of the optimal centralized schedule.
 	for _, j := range res.Jobs {
@@ -85,6 +89,7 @@ func TestFig2MLTCPMatchesCentralized(t *testing.T) {
 }
 
 func TestFig2RenoBaselineStaysCongested(t *testing.T) {
+	t.Parallel()
 	res := Fig2Reno()
 	congested := 0
 	for _, j := range res.Jobs {
@@ -98,6 +103,7 @@ func TestFig2RenoBaselineStaysCongested(t *testing.T) {
 }
 
 func TestFig3IncreasingFunctionsConvergeDecreasingDoNot(t *testing.T) {
+	t.Parallel()
 	res := Fig3()
 	if len(res.Functions) != 6 {
 		t.Fatalf("want 6 functions, got %d", len(res.Functions))
@@ -129,6 +135,7 @@ func TestFig3IncreasingFunctionsConvergeDecreasingDoNot(t *testing.T) {
 }
 
 func TestFig4TailSpeedup(t *testing.T) {
+	t.Parallel()
 	res := Fig4()
 	// Paper: 1.59× tail (p99) iteration-time speedup over Reno for six
 	// GPT-2 jobs. Accept the right ballpark.
@@ -142,6 +149,7 @@ func TestFig4TailSpeedup(t *testing.T) {
 }
 
 func TestFig5LossMinimumAtHalfPeriod(t *testing.T) {
+	t.Parallel()
 	res := Fig5()
 	// Figure 5(c): minimum at Δ = T/2 = 0.9s for a = 1/2, T = 1.8s.
 	if res.MinDeltaSec < 0.85 || res.MinDeltaSec > 0.95 {
@@ -153,6 +161,7 @@ func TestFig5LossMinimumAtHalfPeriod(t *testing.T) {
 }
 
 func TestFig6SlidingEffect(t *testing.T) {
+	t.Parallel()
 	res := Fig6()
 	if res.InterleavedAt < 0 {
 		t.Fatal("two GPT-2 jobs never interleaved")
@@ -177,6 +186,7 @@ func TestFig6SlidingEffect(t *testing.T) {
 }
 
 func TestNoiseBoundHolds(t *testing.T) {
+	t.Parallel()
 	res := NoiseBound(2)
 	if len(res.SigmaMS) < 3 {
 		t.Fatal("too few sigma points")

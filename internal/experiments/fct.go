@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"mltcp/internal/harness"
 	"mltcp/internal/metrics"
 	"mltcp/internal/netsim"
 	"mltcp/internal/sim"
@@ -43,6 +45,36 @@ const (
 	fctRate  = 100 * units.Mbps
 	fctPairs = 8
 )
+
+// FCTGridPoint is one (scheme, load) cell of an FCT comparison grid.
+type FCTGridPoint struct {
+	Load float64
+	FCTResult
+}
+
+// FCTGrid runs every (scheme, load) combination — schemes major, loads
+// minor — on a worker pool (workers <= 0 means one per CPU) and returns
+// the grid in that order. Each cell's Poisson arrival, flow-size, and
+// host-pair streams are seeded from sim.DeriveSeed(baseSeed, cell index),
+// so the grid is reproducible and identical for every worker count.
+func FCTGrid(schemes []string, loads []float64, horizon sim.Time, baseSeed uint64, workers int) []FCTGridPoint {
+	if len(schemes) == 0 {
+		schemes = []string{FCTReno, FCTDCTCP, FCTPFabric}
+	}
+	if len(loads) == 0 {
+		loads = []float64{0.6}
+	}
+	cfg := harness.Config{Workers: workers, BaseSeed: baseSeed}
+	return harness.Map(context.Background(), cfg, len(schemes)*len(loads),
+		func(pt harness.Point) FCTGridPoint {
+			scheme := schemes[pt.Index/len(loads)]
+			load := loads[pt.Index%len(loads)]
+			return FCTGridPoint{
+				Load:      load,
+				FCTResult: RunFCT(scheme, load, horizon, pt.Seed),
+			}
+		})
+}
 
 // RunFCT runs one scheme at the given offered load (fraction of bottleneck
 // capacity) for the horizon, generating Poisson arrivals of

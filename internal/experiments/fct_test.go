@@ -11,6 +11,7 @@ import (
 // SRPT priorities crush short-flow FCT, DCTCP's shallow queues beat
 // FIFO/Reno, and everyone eventually completes everything.
 func TestFCTCanonicalOrdering(t *testing.T) {
+	t.Parallel()
 	const (
 		load    = 0.6
 		horizon = 20 * sim.Second
@@ -46,6 +47,7 @@ func TestFCTCanonicalOrdering(t *testing.T) {
 }
 
 func TestFCTValidation(t *testing.T) {
+	t.Parallel()
 	for name, fn := range map[string]func(){
 		"bad-load":   func() { RunFCT(FCTReno, 1.5, sim.Second, 1) },
 		"bad-scheme": func() { RunFCT("bogus", 0.5, sim.Second, 1) },
@@ -65,6 +67,7 @@ func TestFCTValidation(t *testing.T) {
 // bottleneck, and that background is not starved (§5's coexistence story
 // under a realistic mix).
 func TestMixedTrafficCoexistence(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("packet-level run takes ~5s")
 	}

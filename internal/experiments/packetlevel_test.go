@@ -29,6 +29,7 @@ func steadyMean(r PacketLevelResult, skip int) float64 {
 // counterpart of the fluid results and the check that the fluid weighted-
 // share abstraction is faithful.
 func TestPacketLevelMLTCPBeatsRenoUnderNoise(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("packet-level run takes ~15s")
 	}
@@ -58,6 +59,7 @@ func TestPacketLevelMLTCPBeatsRenoUnderNoise(t *testing.T) {
 // Without noise the deterministic packet-level MLTCP jobs converge to the
 // ideal iteration time within the paper's ~20 iterations.
 func TestPacketLevelMLTCPConvergesDeterministic(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("packet-level run takes ~5s")
 	}
@@ -75,6 +77,7 @@ func TestPacketLevelMLTCPConvergesDeterministic(t *testing.T) {
 // Auto-learned TOTAL_BYTES/COMP_TIME must work as well as given parameters
 // once the first iterations have been observed.
 func TestPacketLevelAutoLearnedParameters(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("packet-level run takes ~5s")
 	}
@@ -87,6 +90,7 @@ func TestPacketLevelAutoLearnedParameters(t *testing.T) {
 }
 
 func TestFairnessClaims(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("packet-level sweep takes ~5s")
 	}
@@ -118,6 +122,7 @@ func TestFairnessClaims(t *testing.T) {
 // MLTCP wrapped around CUBIC and DCTCP also converges (§6: "Other
 // congestion control schemes are augmented in a similar way").
 func TestPacketLevelMLTCPOverOtherBases(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("packet-level runs take ~10s")
 	}
@@ -143,6 +148,7 @@ func TestPacketLevelMLTCPOverOtherBases(t *testing.T) {
 // Extension: the long job of a parking-lot chain interleaves against both
 // of its per-trunk neighbours simultaneously under MLTCP.
 func TestMultiBottleneckInterleaving(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("packet-level run takes ~8s")
 	}
@@ -158,6 +164,7 @@ func TestMultiBottleneckInterleaving(t *testing.T) {
 // enough to absorb the noise (e.g., slight variations in round-trip time)".
 // With Gaussian RTT jitter on the bottleneck, MLTCP still interleaves.
 func TestPacketLevelConvergesUnderRTTJitter(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("packet-level run takes ~5s")
 	}
@@ -201,6 +208,7 @@ func TestPacketLevelConvergesUnderRTTJitter(t *testing.T) {
 // Delayed ACKs make cumulative ACKs routinely cover two packets
 // (Algorithm 1's num_acks = 2); MLTCP's convergence must be unaffected.
 func TestPacketLevelConvergesWithDelayedAcks(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("packet-level run takes ~3s")
 	}

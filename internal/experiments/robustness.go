@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+
 	"mltcp/internal/core"
 	"mltcp/internal/fluid"
+	"mltcp/internal/harness"
 	"mltcp/internal/metrics"
 	"mltcp/internal/sched"
 	"mltcp/internal/sim"
@@ -26,8 +29,17 @@ type RobustnessPoint struct {
 // interleaving decays into collisions. MLTCP re-applies its restoring
 // force every iteration and holds near the ideal. Cassini would have to
 // re-profile and re-solve continuously to match — "they also rely on
-// accurate profiling of the network demands".
+// accurate profiling of the network demands". Sigma points run across all
+// CPUs; see NoiseRobustnessWorkers to pin the worker count.
 func NoiseRobustness(sigmas []sim.Time, horizon sim.Time) []RobustnessPoint {
+	return NoiseRobustnessWorkers(sigmas, horizon, 0)
+}
+
+// NoiseRobustnessWorkers is NoiseRobustness on a fixed-size worker pool
+// (workers <= 0 means one per CPU). The centralized schedule is optimized
+// once up front and shared read-only; each sigma point's jobs carry
+// explicit seeds, so results are identical for every worker count.
+func NoiseRobustnessWorkers(sigmas []sim.Time, horizon sim.Time, workers int) []RobustnessPoint {
 	if len(sigmas) == 0 {
 		sigmas = []sim.Time{0, 10 * sim.Millisecond, 20 * sim.Millisecond, 40 * sim.Millisecond}
 	}
@@ -42,14 +54,14 @@ func NoiseRobustness(sigmas []sim.Time, horizon sim.Time) []RobustnessPoint {
 	}
 	opt := sched.Optimize(shapes, sched.Options{Seed: 1})
 
-	var out []RobustnessPoint
-	for _, sigma := range sigmas {
-		p := RobustnessPoint{SigmaMS: sigma.Seconds() * 1000}
-		p.CentralizedSlowdown = worstSlowdown(runNoisy(nil, opt.Offsets, sigma, horizon))
-		p.MLTCPSlowdown = worstSlowdown(runNoisy(defaultAgg(), nil, sigma, horizon))
-		out = append(out, p)
-	}
-	return out
+	return harness.Map(context.Background(), harness.Config{Workers: workers},
+		len(sigmas), func(pt harness.Point) RobustnessPoint {
+			sigma := sigmas[pt.Index]
+			p := RobustnessPoint{SigmaMS: sigma.Seconds() * 1000}
+			p.CentralizedSlowdown = worstSlowdown(runNoisy(nil, opt.Offsets, sigma, horizon))
+			p.MLTCPSlowdown = worstSlowdown(runNoisy(defaultAgg(), nil, sigma, horizon))
+			return p
+		})
 }
 
 func runNoisy(agg *core.AggFunc, offsets []sim.Time, sigma, horizon sim.Time) []*fluid.Job {

@@ -8,6 +8,7 @@ import (
 )
 
 func TestNoiseRobustnessCentralizedDecaysMLTCPHolds(t *testing.T) {
+	t.Parallel()
 	pts := NoiseRobustness([]sim.Time{0, 20 * sim.Millisecond, 40 * sim.Millisecond}, 300*sim.Second)
 
 	// Noiseless: both near ideal.
@@ -32,6 +33,7 @@ func TestNoiseRobustnessCentralizedDecaysMLTCPHolds(t *testing.T) {
 }
 
 func TestChurnMLTCPBeatsRenoAndSRPT(t *testing.T) {
+	t.Parallel()
 	const (
 		nJobs = 6
 		iters = 60

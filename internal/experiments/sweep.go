@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"mltcp/internal/core"
 	"mltcp/internal/fluid"
+	"mltcp/internal/harness"
 	"mltcp/internal/sched"
 	"mltcp/internal/sim"
 	"mltcp/internal/workload"
@@ -21,56 +23,70 @@ type SweepPoint struct {
 	SteadySlowdown float64
 }
 
+// slopeInterceptGrid is the fixed (slope, intercept) grid around the
+// paper's defaults; exported results carry the values, so the order here
+// is the output order.
+var slopeInterceptGrid = []struct{ s, i float64 }{
+	{0.5, 0.25}, {1.0, 0.25}, {1.75, 0.25}, {3.0, 0.25},
+	{1.75, 0.05}, {1.75, 0.5}, {1.75, 1.0},
+}
+
 // SlopeInterceptSweep measures how Equation 2's constants trade
 // convergence speed against noise tolerance (§3.1: the constants are
 // "tuned based on the link rate and the noise in the system"). The paper's
-// defaults sit in the middle of the grid.
+// defaults sit in the middle of the grid. Points run across all CPUs; see
+// SlopeInterceptSweepWorkers to pin the worker count.
 func SlopeInterceptSweep(noise sim.Time) []SweepPoint {
-	grid := []struct{ s, i float64 }{
-		{0.5, 0.25}, {1.0, 0.25}, {1.75, 0.25}, {3.0, 0.25},
-		{1.75, 0.05}, {1.75, 0.5}, {1.75, 1.0},
-	}
-	var out []SweepPoint
-	for _, g := range grid {
-		agg := core.Linear(g.s, g.i)
-		jobs := make([]*fluid.Job, 3)
-		for k := range jobs {
-			jobs[k] = &fluid.Job{
-				Spec: workload.Spec{
-					Name:        jobName(k),
-					Profile:     workload.GPT2,
-					StartOffset: sim.Time(k) * StaggerOffset,
-					NoiseStd:    noise,
-					Seed:        uint64(k + 1),
-				},
-				Agg: &agg,
-			}
-		}
-		s := fluid.New(fluid.Config{Capacity: LinkCapacity, Policy: fluid.WeightedShare{}}, jobs)
-		s.Run(150 * sim.Second)
+	return SlopeInterceptSweepWorkers(noise, 0)
+}
 
-		worst := 0.0
-		for _, j := range jobs {
-			sl := j.AvgIterTime(40).Seconds() / j.Spec.Profile.IdealIterTime(LinkCapacity).Seconds()
-			if sl > worst {
-				worst = sl
+// SlopeInterceptSweepWorkers is SlopeInterceptSweep on a fixed-size worker
+// pool (workers <= 0 means one per CPU). Every job is explicitly seeded, so
+// the result slice is identical for every worker count.
+func SlopeInterceptSweepWorkers(noise sim.Time, workers int) []SweepPoint {
+	return harness.Map(context.Background(), harness.Config{Workers: workers},
+		len(slopeInterceptGrid), func(pt harness.Point) SweepPoint {
+			g := slopeInterceptGrid[pt.Index]
+			agg := core.Linear(g.s, g.i)
+			jobs := make([]*fluid.Job, 3)
+			for k := range jobs {
+				jobs[k] = &fluid.Job{
+					Spec: workload.Spec{
+						Name:        jobName(k),
+						Profile:     workload.GPT2,
+						StartOffset: sim.Time(k) * StaggerOffset,
+						NoiseStd:    noise,
+						Seed:        uint64(k + 1),
+					},
+					Agg: &agg,
+				}
 			}
-		}
-		out = append(out, SweepPoint{
-			Slope:          g.s,
-			Intercept:      g.i,
-			ConvergedAt:    convergedAt(jobs, 0.05),
-			SteadySlowdown: worst,
+			s := fluid.New(fluid.Config{Capacity: LinkCapacity, Policy: fluid.WeightedShare{}}, jobs)
+			s.Run(150 * sim.Second)
+
+			worst := 0.0
+			for _, j := range jobs {
+				sl := j.AvgIterTime(40).Seconds() / j.Spec.Profile.IdealIterTime(LinkCapacity).Seconds()
+				if sl > worst {
+					worst = sl
+				}
+			}
+			return SweepPoint{
+				Slope:          g.s,
+				Intercept:      g.i,
+				ConvergedAt:    convergedAt(jobs, 0.05),
+				SteadySlowdown: worst,
+			}
 		})
-	}
-	return out
 }
 
 // ScalabilityPoint compares, for N identical jobs, the centralized
 // optimizer's wall-clock cost against MLTCP's distributed convergence.
 type ScalabilityPoint struct {
 	N int
-	// OptimizerWall is the real time sched.Optimize took.
+	// OptimizerWall is the real time sched.Optimize took. It is the one
+	// wall-clock (hence nondeterministic) field; determinism tests zero it
+	// before comparing runs.
 	OptimizerWall time.Duration
 	// OptimizerInterleaved reports whether it found a zero-overlap
 	// schedule.
@@ -88,35 +104,43 @@ type ScalabilityPoint struct {
 // training iterations per job, independent of any controller. Jobs are
 // identical GPT-2s, whose 1/9 duty admits interleaving up to N = 9.
 func Scalability(ns []int) []ScalabilityPoint {
+	return ScalabilityWorkers(ns, 0)
+}
+
+// ScalabilityWorkers is Scalability on a fixed-size worker pool (workers
+// <= 0 means one per CPU). Apart from OptimizerWall — a wall-clock
+// measurement that parallel neighbors can inflate through contention —
+// every field is deterministic and worker-count independent.
+func ScalabilityWorkers(ns []int, workers int) []ScalabilityPoint {
 	if len(ns) == 0 {
 		ns = []int{2, 4, 6, 8}
 	}
-	var out []ScalabilityPoint
-	for _, n := range ns {
-		p := ScalabilityPoint{N: n}
+	return harness.Map(context.Background(), harness.Config{Workers: workers},
+		len(ns), func(pt harness.Point) ScalabilityPoint {
+			n := ns[pt.Index]
+			p := ScalabilityPoint{N: n}
 
-		shapes := make([]sched.Shape, n)
-		for i := range shapes {
-			shapes[i] = sched.ShapeOf(workload.GPT2, LinkCapacity)
-		}
-		start := time.Now()
-		res := sched.Optimize(shapes, sched.Options{Seed: uint64(n)})
-		p.OptimizerWall = time.Since(start)
-		p.OptimizerInterleaved = res.Interleaved
-
-		jobs := gpt2Jobs(n, defaultAgg())
-		s := fluid.New(fluid.Config{Capacity: LinkCapacity, Policy: fluid.WeightedShare{}}, jobs)
-		s.Run(250 * sim.Second)
-		p.MLTCPConvergedAt = convergedAt(jobs, 0.05)
-		worst := 0.0
-		for _, j := range jobs {
-			sl := j.AvgIterTime(60).Seconds() / j.Spec.Profile.IdealIterTime(LinkCapacity).Seconds()
-			if sl > worst {
-				worst = sl
+			shapes := make([]sched.Shape, n)
+			for i := range shapes {
+				shapes[i] = sched.ShapeOf(workload.GPT2, LinkCapacity)
 			}
-		}
-		p.MLTCPSlowdown = worst
-		out = append(out, p)
-	}
-	return out
+			start := time.Now()
+			res := sched.Optimize(shapes, sched.Options{Seed: uint64(n)})
+			p.OptimizerWall = time.Since(start)
+			p.OptimizerInterleaved = res.Interleaved
+
+			jobs := gpt2Jobs(n, defaultAgg())
+			s := fluid.New(fluid.Config{Capacity: LinkCapacity, Policy: fluid.WeightedShare{}}, jobs)
+			s.Run(250 * sim.Second)
+			p.MLTCPConvergedAt = convergedAt(jobs, 0.05)
+			worst := 0.0
+			for _, j := range jobs {
+				sl := j.AvgIterTime(60).Seconds() / j.Spec.Profile.IdealIterTime(LinkCapacity).Seconds()
+				if sl > worst {
+					worst = sl
+				}
+			}
+			p.MLTCPSlowdown = worst
+			return p
+		})
 }

@@ -11,6 +11,7 @@ import (
 )
 
 func TestSlopeInterceptSweep(t *testing.T) {
+	t.Parallel()
 	pts := SlopeInterceptSweep(10 * sim.Millisecond)
 	if len(pts) != 7 {
 		t.Fatalf("%d points", len(pts))
@@ -43,6 +44,7 @@ func TestSlopeInterceptSweep(t *testing.T) {
 }
 
 func TestScalability(t *testing.T) {
+	t.Parallel()
 	pts := Scalability([]int{2, 4, 8})
 	for _, p := range pts {
 		if !p.OptimizerInterleaved {
@@ -67,6 +69,7 @@ func TestScalability(t *testing.T) {
 // times"): a third job joining a converged pair forces re-convergence and
 // everyone returns to ideal.
 func TestDynamicJobArrival(t *testing.T) {
+	t.Parallel()
 	agg := defaultAgg()
 	mk := func(name string, offset sim.Time) *fluid.Job {
 		return &fluid.Job{
@@ -120,6 +123,7 @@ func TestDynamicJobArrival(t *testing.T) {
 // specific. Recorded in EXPERIMENTS.md as an observed limitation; the test
 // pins the behaviour: near-ideal (under 8%) but measurably off optimal.
 func TestHeterogeneousMixNearInterleaves(t *testing.T) {
+	t.Parallel()
 	agg := defaultAgg()
 	profiles := []workload.Profile{workload.GPT3, workload.GPT2, workload.GPT2}
 	jobs := make([]*fluid.Job, len(profiles))

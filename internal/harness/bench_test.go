@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mltcp/internal/sim"
+)
+
+// simPoint is a CPU-bound stand-in for one fluid-simulation grid point:
+// a seeded random walk heavy enough (~1e6 RNG draws) that scheduling
+// overhead is negligible, like the real sweeps the harness hosts.
+func simPoint(pt Point) float64 {
+	rng := pt.RNG()
+	acc := 0.0
+	for k := 0; k < 1_000_000; k++ {
+		acc += rng.Float64() - 0.5
+	}
+	return acc
+}
+
+// BenchmarkSweepWorkers runs a 32-point grid at increasing worker counts.
+// On a multi-core machine ns/op drops roughly linearly with workers until
+// the core count is reached — the speedup that motivates the harness.
+func BenchmarkSweepWorkers(b *testing.B) {
+	const points = 32
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	var serial []float64
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var out []float64
+			for i := 0; i < b.N; i++ {
+				out = Map(context.Background(), Config{Workers: w, BaseSeed: 1}, points, simPoint)
+			}
+			if serial == nil {
+				serial = out
+			}
+			for k := range out {
+				if out[k] != serial[k] {
+					b.Fatalf("workers=%d point %d diverged from serial", w, k)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunOverhead measures the pool's fixed cost per point with a
+// trivial scenario, bounding what the harness adds to cheap grids.
+func BenchmarkRunOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Map(context.Background(), Config{Workers: 4}, 64, func(pt Point) uint64 {
+			return sim.DeriveSeed(pt.Seed, 0)
+		})
+	}
+}

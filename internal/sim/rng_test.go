@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+func TestDeriveSeedMatchesSplitMixStream(t *testing.T) {
+	t.Parallel()
+	// DeriveSeed(base, i) is defined as the SplitMix64 sequence started at
+	// base, at position i+1 — the same recurrence NewRNG uses to mix its
+	// state, so stream quality is identical.
+	base := uint64(0xdeadbeef)
+	x := base
+	for i := uint64(0); i < 16; i++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if got := DeriveSeed(base, i); got != z {
+			t.Fatalf("DeriveSeed(%#x, %d) = %#x, want %#x", base, i, got, z)
+		}
+	}
+}
+
+func TestDeriveSeedDistinctStreams(t *testing.T) {
+	t.Parallel()
+	seen := map[uint64]bool{}
+	for base := uint64(0); base < 32; base++ {
+		for i := uint64(0); i < 32; i++ {
+			s := DeriveSeed(base, i)
+			if seen[s] {
+				t.Fatalf("collision at base=%d i=%d", base, i)
+			}
+			seen[s] = true
+		}
+	}
+	// Zero base is well-mixed too (SplitMix64's guarantee).
+	if DeriveSeed(0, 0) == 0 {
+		t.Error("DeriveSeed(0,0) = 0; state not mixed")
+	}
+}
+
+func TestNewRNGAtEquivalence(t *testing.T) {
+	t.Parallel()
+	a := NewRNGAt(7, 3)
+	b := NewRNG(DeriveSeed(7, 3))
+	for k := 0; k < 100; k++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("NewRNGAt diverges from NewRNG(DeriveSeed) at draw %d", k)
+		}
+	}
+	// Adjacent indices give uncorrelated-looking streams: first draws differ.
+	if NewRNGAt(7, 3).Uint64() == NewRNGAt(7, 4).Uint64() {
+		t.Error("adjacent point streams start identically")
+	}
+}

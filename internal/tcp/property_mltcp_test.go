@@ -1,0 +1,215 @@
+// Properties of the bandwidth aggressiveness function and its composition
+// with every congestion-control algorithm. These live in an external test
+// package (tcp_test) rather than in property_test.go because they exercise
+// internal/core's MLTCP wrapper, and core imports tcp — an internal test
+// file importing core would be an import cycle.
+package tcp_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mltcp/internal/core"
+	"mltcp/internal/sim"
+	"mltcp/internal/tcp"
+)
+
+// fakeWindow is a minimal tcp.Window for driving CC algorithms directly,
+// without a simulated network.
+type fakeWindow struct {
+	cwnd, ssthresh float64
+	srtt           sim.Time
+}
+
+func (w *fakeWindow) Cwnd() float64         { return w.cwnd }
+func (w *fakeWindow) SetCwnd(c float64)     { w.cwnd = c }
+func (w *fakeWindow) Ssthresh() float64     { return w.ssthresh }
+func (w *fakeWindow) SetSsthresh(s float64) { w.ssthresh = s }
+func (w *fakeWindow) SRTT() sim.Time        { return w.srtt }
+func (w *fakeWindow) InSlowStart() bool     { return w.cwnd < w.ssthresh }
+
+// fixedRatio is a core.RatioSource pinned to one bytes_ratio, isolating
+// the wrapper's scaling from Tracker/Learner dynamics.
+type fixedRatio float64
+
+func (f fixedRatio) OnAck(sim.Time, int64) float64 { return float64(f) }
+
+// ccVariants lists the five base algorithms §6 says MLTCP augments the
+// same way. Swift gets an explicit delay target so a single 100µs RTT
+// sample lands on its additive-increase (congestion-avoidance) path.
+func ccVariants() map[string]func() tcp.CongestionControl {
+	return map[string]func() tcp.CongestionControl{
+		"reno":  func() tcp.CongestionControl { return tcp.NewReno() },
+		"cubic": func() tcp.CongestionControl { return tcp.NewCubic() },
+		"dctcp": func() tcp.CongestionControl { return tcp.NewDCTCP() },
+		"d2tcp": func() tcp.CongestionControl { return tcp.NewD2TCP() },
+		"swift": func() tcp.CongestionControl { s := tcp.NewSwift(); s.Target = sim.Millisecond; return s },
+	}
+}
+
+// caAck is a congestion-avoidance ACK: one full packet, a valid sub-target
+// RTT sample, no ECN, past slow start.
+func caAck() tcp.AckEvent {
+	return tcp.AckEvent{
+		Now:          sim.Second,
+		AckedBytes:   1460,
+		AckedPackets: 1,
+		RTT:          100 * sim.Microsecond,
+		InSlowStart:  false,
+	}
+}
+
+// caWindow returns a window mid congestion avoidance (cwnd ≥ ssthresh).
+func caWindow(cwnd float64) *fakeWindow {
+	return &fakeWindow{cwnd: cwnd, ssthresh: cwnd / 2, srtt: 100 * sim.Microsecond}
+}
+
+// caIncrement applies one CA ack to a fresh instance of the algorithm and
+// returns the cwnd change.
+func caIncrement(cc tcp.CongestionControl, cwnd float64) float64 {
+	w := caWindow(cwnd)
+	cc.OnInit(w)
+	cc.OnAck(w, caAck())
+	return w.cwnd - cwnd
+}
+
+// Property (Eq. 2): F(r) = slope·r + intercept is monotone non-decreasing
+// in bytes_ratio for any non-negative slope, and F(0) equals the intercept
+// floor — the paper's requirement (ii) plus its range lower bound.
+func TestLinearAggressivenessProperties(t *testing.T) {
+	t.Parallel()
+	prop := func(slopeQ, interceptQ uint16, r1q, r2q uint16) bool {
+		slope := float64(slopeQ) / 1000 // [0, 65.5]
+		intercept := float64(interceptQ) / 1000
+		r1 := float64(r1q) / 65535 // [0, 1]
+		r2 := float64(r2q) / 65535
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		f := core.Linear(slope, intercept)
+		if f.Eval(0) != intercept {
+			return false
+		}
+		if f.Eval(r1) > f.Eval(r2)+1e-12 {
+			return false
+		}
+		return f.IsNondecreasing()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for all five MLTCP-augmented algorithms, the congestion-
+// avoidance increment composes exactly as Algorithm 1 prescribes —
+// wrapped Δ = F(bytes_ratio) × base Δ whenever the base grows the window.
+func TestMLTCPScalingComposesAcrossAlgorithms(t *testing.T) {
+	t.Parallel()
+	for name, mk := range ccVariants() {
+		for _, cwnd := range []float64{4, 10, 20, 50, 123.5} {
+			for _, r := range []float64{0, 0.25, 0.5, 0.75, 1} {
+				base := caIncrement(mk(), cwnd)
+				wrapped := caIncrement(core.Wrap(mk(), core.Default(), fixedRatio(r)), cwnd)
+				if base <= 0 {
+					t.Fatalf("%s: cwnd=%v base CA increment %v, want positive (test premise)", name, cwnd, base)
+				}
+				want := core.Default().Eval(r) * base
+				if math.Abs(wrapped-want) > 1e-9*math.Max(1, math.Abs(want)) {
+					t.Errorf("%s: cwnd=%v r=%v wrapped Δ=%v, want F(r)·Δ=%v (base Δ=%v)",
+						name, cwnd, r, wrapped, want, base)
+				}
+			}
+		}
+	}
+}
+
+// Property: the wrapped increment is monotone non-decreasing in
+// bytes_ratio for every algorithm — flows nearer the end of an iteration
+// never climb more slowly (the mechanism behind the sliding effect).
+func TestMLTCPIncrementMonotoneInRatio(t *testing.T) {
+	t.Parallel()
+	for name, mk := range ccVariants() {
+		prop := func(cwndQ uint8, r1q, r2q uint16) bool {
+			cwnd := 4 + float64(cwndQ) // [4, 259]
+			r1 := float64(r1q) / 65535
+			r2 := float64(r2q) / 65535
+			if r1 > r2 {
+				r1, r2 = r2, r1
+			}
+			d1 := caIncrement(core.Wrap(mk(), core.Default(), fixedRatio(r1)), cwnd)
+			d2 := caIncrement(core.Wrap(mk(), core.Default(), fixedRatio(r2)), cwnd)
+			return d1 <= d2+1e-12
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: an arbitrary linear F scales the same increment as the
+// equivalent constant function — scaling depends only on the value
+// F(bytes_ratio), not on the function's shape (F(r) and const F≡F(r) are
+// interchangeable at ratio r).
+func TestMLTCPScalingDependsOnlyOnFValue(t *testing.T) {
+	t.Parallel()
+	constant := func(v float64) core.AggFunc {
+		return core.AggFunc{Name: "const", Eval: func(float64) float64 { return v }}
+	}
+	for name, mk := range ccVariants() {
+		for _, r := range []float64{0.1, 0.6, 0.9} {
+			slope, intercept := 1.75, 0.25
+			viaLinear := caIncrement(core.Wrap(mk(), core.Linear(slope, intercept), fixedRatio(r)), 20)
+			viaConst := caIncrement(core.Wrap(mk(), constant(slope*r+intercept), fixedRatio(r)), 20)
+			if math.Abs(viaLinear-viaConst) > 1e-12 {
+				t.Errorf("%s: r=%v linear Δ=%v const Δ=%v", name, r, viaLinear, viaConst)
+			}
+		}
+	}
+}
+
+// Property: slow-start growth is untouched by the wrapper for every
+// algorithm (Algorithm 1 hooks only congestion avoidance), at every
+// bytes_ratio.
+func TestMLTCPSlowStartUnscaled(t *testing.T) {
+	t.Parallel()
+	for name, mk := range ccVariants() {
+		for _, r := range []float64{0, 0.5, 1} {
+			ev := caAck()
+			ev.InSlowStart = true
+			run := func(cc tcp.CongestionControl) float64 {
+				w := &fakeWindow{cwnd: 5, ssthresh: 100, srtt: 100 * sim.Microsecond}
+				cc.OnInit(w)
+				cc.OnAck(w, ev)
+				return w.cwnd - 5
+			}
+			base := run(mk())
+			wrapped := run(core.Wrap(mk(), core.Default(), fixedRatio(r)))
+			if base != wrapped {
+				t.Errorf("%s: r=%v slow-start Δ base=%v wrapped=%v, want identical", name, r, base, wrapped)
+			}
+		}
+	}
+}
+
+// Property: the wrapper clamps out-of-range ratios into [0, 1] before
+// evaluating F, so a misbehaving tracker can never push aggressiveness
+// outside the function's designed range.
+func TestMLTCPRatioClamped(t *testing.T) {
+	t.Parallel()
+	for _, r := range []float64{-5, -0.001, 1.001, 40} {
+		m := core.Wrap(tcp.NewReno(), core.Default(), fixedRatio(r))
+		w := caWindow(20)
+		m.OnInit(w)
+		m.OnAck(w, caAck())
+		if br := m.BytesRatio(); br < 0 || br > 1 {
+			t.Errorf("ratio %v reported as %v, want clamped to [0,1]", r, br)
+		}
+		lo, hi := core.Default().Range()
+		delta := w.cwnd - 20
+		base := caIncrement(tcp.NewReno(), 20)
+		if delta < lo*base-1e-12 || delta > hi*base+1e-12 {
+			t.Errorf("ratio %v produced Δ=%v outside [%v, %v]", r, delta, lo*base, hi*base)
+		}
+	}
+}

@@ -26,6 +26,10 @@
 //     statistics, and figure rendering.
 //   - internal/experiments — one harness per paper figure, driven by
 //     cmd/mltcp-figures and the benchmarks in this directory.
+//   - internal/harness — the deterministic parallel sweep runner: fans
+//     experiment grids across a worker pool with per-point seed streams
+//     (SplitMix64-derived), so results are bit-for-bit identical at any
+//     worker count.
 //
 // Quick start (see examples/quickstart for a runnable version):
 //
