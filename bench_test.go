@@ -11,9 +11,11 @@ package mltcp_test
 // custom metrics are the quantities to compare with the paper.
 
 import (
+	"context"
 	"testing"
 
 	"mltcp/internal/analysis"
+	"mltcp/internal/backend"
 	"mltcp/internal/collective"
 	"mltcp/internal/core"
 	"mltcp/internal/experiments"
@@ -180,6 +182,35 @@ func BenchmarkMultiResource(b *testing.B) {
 		improvement = fair.Seconds() / weighted.Seconds()
 	}
 	b.ReportMetric(improvement, "iter-speedup")
+}
+
+// BenchmarkBackendComparison runs the canonical two-job scenario through
+// both backends from the same config.Scenario and reports each fidelity's
+// worst steady-state slowdown plus the cross-fidelity gaps — the headline
+// numbers of the fidelity-agnostic backend seam (CI runs this on every
+// push as a cross-fidelity sanity check).
+func BenchmarkBackendComparison(b *testing.B) {
+	var cf *experiments.CrossFidelityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		cf, err = experiments.CrossFidelityCanonical(context.Background(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := func(r *backend.Result) float64 {
+		var w float64
+		for _, j := range r.Jobs {
+			if s := j.Slowdown(20); s > w {
+				w = s
+			}
+		}
+		return w
+	}
+	b.ReportMetric(worst(cf.Fluid), "fluid-worst-slowdown")
+	b.ReportMetric(worst(cf.Packet), "packet-worst-slowdown")
+	b.ReportMetric(cf.MaxSlowdownGap, "slowdown-gap")
+	b.ReportMetric(cf.OverlapGap, "overlap-gap")
 }
 
 // --- Ablations ---

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +32,7 @@ import (
 )
 
 var (
-	figFlag = flag.String("fig", "all", "figure to regenerate (1, 2a, 2b, 2c, 3, 4, 5, 6, noise, fairness, multires, sweep, scale, fct, mixed, robust, churn, all)")
+	figFlag = flag.String("fig", "all", "figure to regenerate (1, 2a, 2b, 2c, 3, 4, 5, 6, noise, fairness, multires, sweep, scale, fct, mixed, robust, churn, compare, all)")
 	csvFlag = flag.Bool("csv", false, "emit CSV series instead of tables/charts")
 	svgDir  = flag.String("svgdir", "", "also write each figure as an SVG file into this directory")
 	reportF = flag.String("report", "", "write a full Markdown paper-vs-measured report to this file and exit")
@@ -102,6 +103,7 @@ func main() {
 		"mixed":    mixed,
 		"robust":   robust,
 		"churn":    churn,
+		"compare":  compare,
 	}
 	if *figFlag == "all" {
 		var keys []string
@@ -458,4 +460,30 @@ func churn() {
 		})
 	}
 	fmt.Print(trace.Table([]string{"scheme", "jobs done", "mean slowdown", "p95", "worst"}, rows))
+}
+
+// compare runs the canonical two-job scenario at both fidelities through
+// the backend interface and prints their agreement — the cross-fidelity
+// validation of the fluid weighted-share abstraction.
+func compare() {
+	fmt.Println("cross-fidelity: canonical 2×GPT-2 MLTCP scenario, fluid vs packet backend")
+	res, err := experiments.CrossFidelityCanonical(context.Background(), 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var rows [][]string
+	for i := range res.Fluid.Jobs {
+		rows = append(rows, []string{
+			res.Fluid.Jobs[i].Name,
+			fmt.Sprintf("%.3f", res.Fluid.Jobs[i].Slowdown(20)),
+			fmt.Sprintf("%.3f", res.Packet.Jobs[i].Slowdown(20)),
+			fmt.Sprintf("%.4f", res.SlowdownGap[i]),
+			fmt.Sprintf("%.5f", res.BytesPerIterGap[i]),
+		})
+	}
+	fmt.Print(trace.Table([]string{"job", "fluid slowdown", "packet slowdown", "gap", "bytes gap"}, rows))
+	fmt.Printf("overlap score: fluid %.3f, packet %.3f (gap %.3f); interleaved at iter %d vs %d\n",
+		res.Fluid.OverlapScore, res.Packet.OverlapScore, res.OverlapGap,
+		res.Fluid.InterleavedAt, res.Packet.InterleavedAt)
 }

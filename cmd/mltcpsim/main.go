@@ -1,12 +1,17 @@
 // Command mltcpsim runs one DNN-job scheduling scenario on a shared
-// bottleneck and reports per-job iteration times, using either the fast
-// fluid simulator or the packet-level TCP stack.
+// bottleneck and reports per-job iteration times. Scenarios come from a
+// JSON file (-config) or from flags, and run at either fidelity through
+// the same backend interface: -level fluid integrates the flow-level
+// model, -level packet compiles the identical scenario onto the
+// packet-level TCP stack (at the scenario's packet_scale, default 1/100).
+// -runs/-seed/-workers replicate either fidelity across the harness pool.
 //
 // Examples:
 //
 //	mltcpsim -jobs gpt3,gpt2,gpt2,gpt2 -policy mltcp
 //	mltcpsim -jobs gpt2,gpt2,gpt2 -policy srpt -duration 60s
-//	mltcpsim -jobs gpt2,gpt2 -level packet -policy mltcp -noise 20ms
+//	mltcpsim -jobs gpt2,gpt2 -level packet -policy mltcp-cubic -noise 20ms
+//	mltcpsim -config examples/scenarios/hetero.json -level packet -runs 8 -workers 4
 //	mltcpsim -jobs gpt2,gpt2,gpt2,gpt2,gpt2,gpt2 -policy reno -chart
 package main
 
@@ -18,91 +23,117 @@ import (
 	"strings"
 	"time"
 
+	"mltcp/internal/backend"
 	"mltcp/internal/config"
-	"mltcp/internal/core"
 	"mltcp/internal/experiments"
-	"mltcp/internal/fluid"
-	"mltcp/internal/harness"
 	"mltcp/internal/metrics"
-	"mltcp/internal/sched"
 	"mltcp/internal/sim"
 	"mltcp/internal/trace"
-	"mltcp/internal/units"
 	"mltcp/internal/workload"
 )
 
 var (
-	configFlag   = flag.String("config", "", "JSON scenario file (overrides -jobs/-policy/-gbps/-duration; fluid level)")
+	configFlag   = flag.String("config", "", "JSON scenario file (overrides -jobs/-policy/-gbps/-duration/-stagger/-noise)")
 	jobsFlag     = flag.String("jobs", "gpt3,gpt2,gpt2,gpt2", "comma-separated profile names (gpt3, gpt2, bert, resnet50, vgg16, dlrm)")
-	policyFlag   = flag.String("policy", "mltcp", "scheduling policy: mltcp, reno, srpt, pdq, las, pias, centralized")
-	levelFlag    = flag.String("level", "fluid", "simulation fidelity: fluid or packet (packet supports mltcp/reno only)")
+	policyFlag   = flag.String("policy", "mltcp", "scheduling policy: a CC scheme (reno, cubic, dctcp, d2tcp, swift, mltcp[-reno|-cubic|-dctcp|-d2tcp|-swift]), a fluid-only discipline (srpt, pdq, las, pias), or centralized")
+	levelFlag    = flag.String("level", "fluid", "simulation fidelity: fluid or packet")
 	durationFlag = flag.Duration("duration", 120*time.Second, "simulated time to run")
 	staggerFlag  = flag.Duration("stagger", 10*time.Millisecond, "start-time stagger between jobs")
 	noiseFlag    = flag.Duration("noise", 0, "std of Gaussian compute-time noise per iteration")
-	gbpsFlag     = flag.Float64("gbps", 50, "bottleneck capacity in Gbps (fluid level)")
-	chartFlag    = flag.Bool("chart", false, "print an ASCII bandwidth chart (fluid level)")
+	gbpsFlag     = flag.Float64("gbps", 50, "bottleneck capacity in Gbps")
+	chartFlag    = flag.Bool("chart", false, "print an ASCII bandwidth chart (fluid level, single run)")
 	skipFlag     = flag.Int("skip", 20, "iterations to skip in steady-state averages")
-	runsFlag     = flag.Int("runs", 1, "seeded replicas of the scenario; >1 reports per-job stats across runs (fluid level)")
+	runsFlag     = flag.Int("runs", 1, "seeded replicas of the scenario; >1 reports per-job stats across runs")
 	seedFlag     = flag.Uint64("seed", 1, "base seed; replica r derives its jobs' noise streams from (seed, r)")
 	workersFlag  = flag.Int("workers", 0, "worker goroutines for -runs replication; 0 = one per CPU")
 )
 
 func main() {
 	flag.Parse()
-	if *configFlag != "" {
-		runConfig(*configFlag)
-		return
-	}
-	profiles, err := parseJobs(*jobsFlag)
+	scn, err := loadScenario()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	switch *levelFlag {
-	case "fluid":
-		runFluid(profiles)
-	case "packet":
-		runPacket(profiles)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown level %q\n", *levelFlag)
+	b, err := pickBackend(*levelFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *runsFlag > 1 {
+		if err := runReplicated(b, scn); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runOnce(b, scn); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
-func runConfig(path string) {
-	f, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	scn, err := config.Load(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	jobs := scn.BuildJobs()
-	s := fluid.New(fluid.Config{Capacity: scn.Capacity(), Policy: scn.FluidPolicy()}, jobs)
-	s.Run(scn.Duration())
-	fmt.Printf("scenario=%s policy=%s capacity=%v duration=%v\n",
-		scn.Name, scn.Policy, scn.Capacity(), scn.Duration())
-	var rows [][]string
-	for _, j := range jobs {
-		ideal := j.Spec.Profile.IdealIterTime(scn.Capacity())
-		skip := *skipFlag
-		if n := len(j.IterDurations); skip >= n {
-			skip = n / 2
+// loadScenario builds the scenario from -config, or from the job/policy
+// flags when no file is given. Both paths produce the same config.Scenario
+// type, so every fidelity and replication feature applies uniformly.
+func loadScenario() (*config.Scenario, error) {
+	if *configFlag != "" {
+		f, err := os.Open(*configFlag)
+		if err != nil {
+			return nil, err
 		}
-		avg := j.AvgIterTime(skip)
-		rows = append(rows, []string{
-			j.Spec.Label(),
-			fmt.Sprintf("%d", j.Iterations()),
-			fmt.Sprintf("%.3f", avg.Seconds()),
-			fmt.Sprintf("%.3f", ideal.Seconds()),
-			fmt.Sprintf("%.2f×", avg.Seconds()/ideal.Seconds()),
+		defer f.Close()
+		scn, err := config.Load(f)
+		if err != nil {
+			return nil, err
+		}
+		return &scn, nil
+	}
+	return scenarioFromFlags(*jobsFlag, *policyFlag, *gbpsFlag,
+		*durationFlag, *staggerFlag, *noiseFlag)
+}
+
+// scenarioFromFlags translates the flag surface into a scenario.
+func scenarioFromFlags(jobs, policy string, gbps float64,
+	duration, stagger, noise time.Duration) (*config.Scenario, error) {
+	profiles, err := parseJobs(jobs)
+	if err != nil {
+		return nil, err
+	}
+	staggerMS := float64(stagger) / float64(time.Millisecond)
+	scn := &config.Scenario{
+		Name:         "cli",
+		Policy:       policy,
+		CapacityGbps: gbps,
+		DurationSec:  duration.Seconds(),
+		StaggerMS:    &staggerMS,
+	}
+	for i, p := range profiles {
+		scn.Jobs = append(scn.Jobs, config.Job{
+			Name:    fmt.Sprintf("J%d(%s)", i+1, p.Name),
+			Profile: p.Name,
+			NoiseMS: float64(noise) / float64(time.Millisecond),
 		})
 	}
-	fmt.Print(trace.Table([]string{"job", "iters", "avg iter (s)", "ideal (s)", "slowdown"}, rows))
+	if err := scn.Normalize(); err != nil {
+		return nil, err
+	}
+	return scn, nil
+}
+
+func pickBackend(level string) (backend.Backend, error) {
+	switch level {
+	case "fluid":
+		fl := &backend.Fluid{}
+		if *chartFlag && *runsFlag == 1 {
+			fl.TraceBucket = 50 * sim.Millisecond
+		}
+		return fl, nil
+	case "packet":
+		return &backend.Packet{}, nil
+	default:
+		return nil, fmt.Errorf("unknown level %q (fluid or packet)", level)
+	}
 }
 
 func parseJobs(s string) ([]workload.Profile, error) {
@@ -121,157 +152,77 @@ func parseJobs(s string) ([]workload.Profile, error) {
 	return out, nil
 }
 
-func runFluid(profiles []workload.Profile) {
-	capacity := units.Rate(*gbpsFlag) * units.Gbps
-	var agg *core.AggFunc
-	policy := fluid.Policy(fluid.WeightedShare{})
-	offsets := make([]sim.Time, len(profiles))
-	for i := range offsets {
-		offsets[i] = sim.Time(i) * sim.FromDuration(*staggerFlag)
+// runOnce runs a single replica at the chosen fidelity and prints the
+// per-job table.
+func runOnce(b backend.Backend, scn *config.Scenario) error {
+	res, err := b.Run(context.Background(), scn, *seedFlag)
+	if err != nil {
+		return err
 	}
-
-	switch *policyFlag {
-	case "mltcp":
-		f := core.Default()
-		agg = &f
-	case "reno":
-	case "srpt":
-		policy = fluid.SRPT{Label: "pfabric"}
-	case "pdq":
-		policy = fluid.SRPT{Label: "pdq"}
-	case "las":
-		policy = fluid.LAS{}
-	case "pias":
-		policy = fluid.PIAS{Thresholds: []int64{int64(100 * units.MB), int64(1000 * units.MB)}}
-	case "centralized":
-		shapes := make([]sched.Shape, len(profiles))
-		for i, p := range profiles {
-			shapes[i] = sched.ShapeOf(p, capacity)
-		}
-		res := sched.Optimize(shapes, sched.Options{Seed: 1})
-		if !res.Interleaved {
-			fmt.Printf("note: no fully interleaved schedule exists; residual overlap %v per hyperperiod\n", res.Overlap)
-		}
-		copy(offsets, res.Offsets)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyFlag)
-		os.Exit(2)
-	}
-
-	if *runsFlag > 1 {
-		runReplicated(profiles, capacity, policy, agg, offsets)
-		return
-	}
-
-	jobs := make([]*fluid.Job, len(profiles))
-	for i, p := range profiles {
-		jobs[i] = &fluid.Job{
-			Spec: workload.Spec{
-				Name:        fmt.Sprintf("J%d(%s)", i+1, p.Name),
-				Profile:     p,
-				StartOffset: offsets[i],
-				NoiseStd:    sim.FromDuration(*noiseFlag),
-				Seed:        uint64(i + 1),
-			},
-			Agg: agg,
-		}
-	}
-	cfg := fluid.Config{Capacity: capacity, Policy: policy}
-	if *chartFlag {
-		cfg.TraceBucket = 50 * sim.Millisecond
-	}
-	s := fluid.New(cfg, jobs)
-	s.Run(sim.FromDuration(*durationFlag))
-
-	fmt.Printf("policy=%s capacity=%v duration=%v\n", *policyFlag, capacity, *durationFlag)
+	fmt.Printf("scenario=%s level=%s policy=%s capacity=%v duration=%v overlap=%.3f interleaved-at=%d\n",
+		res.Scenario, res.Backend, res.Policy, res.Capacity, res.Duration, res.OverlapScore, res.InterleavedAt)
 	var rows [][]string
-	for _, j := range jobs {
-		ideal := j.Spec.Profile.IdealIterTime(capacity)
-		skip := *skipFlag
-		if n := len(j.IterDurations); skip >= n {
-			skip = n / 2 // short runs: average the second half
-		}
-		avg := j.AvgIterTime(skip)
+	for _, j := range res.Jobs {
+		avg := j.SteadyIter(*skipFlag)
 		rows = append(rows, []string{
-			j.Spec.Label(),
+			j.Name,
 			fmt.Sprintf("%d", j.Iterations()),
 			fmt.Sprintf("%.3f", avg.Seconds()),
-			fmt.Sprintf("%.3f", ideal.Seconds()),
-			fmt.Sprintf("%.2f×", avg.Seconds()/ideal.Seconds()),
+			fmt.Sprintf("%.3f", j.Ideal.Seconds()),
+			fmt.Sprintf("%.2f×", j.Slowdown(*skipFlag)),
 		})
 	}
 	fmt.Print(trace.Table([]string{"job", "iters", "avg iter (s)", "ideal (s)", "slowdown"}, rows))
 	if *chartFlag {
-		var series []trace.Series
-		for _, j := range jobs {
-			bw := s.Trace(j)
-			n := len(bw)
-			if n > 200 {
-				bw = bw[n-200:]
-			}
-			vals := make([]float64, len(bw))
-			for i, r := range bw {
-				vals[i] = float64(r) / 1e9
-			}
-			series = append(series, trace.Series{Name: j.Spec.Label(), Values: vals})
-		}
-		fmt.Print(trace.Chart("bandwidth, last 10s (Gbps)", 100, 10, series...))
+		printChart(res)
 	}
+	return nil
 }
 
-// runReplicated fans *runsFlag seeded replicas of the fluid scenario over
-// the worker pool. Replica r's jobs draw their compute-noise streams from
-// seeds derived from (base seed, r), so the whole batch is reproducible:
-// the same -seed prints the same table at any -workers value.
-func runReplicated(profiles []workload.Profile, capacity units.Rate,
-	policy fluid.Policy, agg *core.AggFunc, offsets []sim.Time) {
-	type runStats struct {
-		slowdown []float64
-		iters    []int
+// printChart renders the fluid bandwidth trace (the packet backend has no
+// bandwidth trace; its window dynamics are in JobResult.CwndTrace).
+func printChart(res *backend.Result) {
+	if res.Backend != "fluid" {
+		fmt.Fprintln(os.Stderr, "note: -chart renders fluid bandwidth traces; not available at -level packet")
+		return
 	}
-	cfg := harness.Config{Workers: *workersFlag, BaseSeed: *seedFlag}
-	runs := harness.Map(context.Background(), cfg, *runsFlag, func(pt harness.Point) runStats {
-		jobs := make([]*fluid.Job, len(profiles))
-		for i, p := range profiles {
-			jobs[i] = &fluid.Job{
-				Spec: workload.Spec{
-					Name:        fmt.Sprintf("J%d(%s)", i+1, p.Name),
-					Profile:     p,
-					StartOffset: offsets[i],
-					NoiseStd:    sim.FromDuration(*noiseFlag),
-					Seed:        sim.DeriveSeed(pt.Seed, uint64(i)),
-				},
-				Agg: agg,
-			}
+	var series []trace.Series
+	for _, j := range res.Jobs {
+		bw := j.Bandwidth
+		if n := len(bw); n > 200 {
+			bw = bw[n-200:]
 		}
-		s := fluid.New(fluid.Config{Capacity: capacity, Policy: policy}, jobs)
-		s.Run(sim.FromDuration(*durationFlag))
-		st := runStats{slowdown: make([]float64, len(jobs)), iters: make([]int, len(jobs))}
-		for i, j := range jobs {
-			ideal := j.Spec.Profile.IdealIterTime(capacity)
-			skip := *skipFlag
-			if n := len(j.IterDurations); skip >= n {
-				skip = n / 2
-			}
-			st.slowdown[i] = j.AvgIterTime(skip).Seconds() / ideal.Seconds()
-			st.iters[i] = j.Iterations()
+		vals := make([]float64, len(bw))
+		for k, r := range bw {
+			vals[k] = r / 1e9
 		}
-		return st
-	})
+		series = append(series, trace.Series{Name: j.Name, Values: vals})
+	}
+	fmt.Print(trace.Chart("bandwidth, last 10s (Gbps)", 100, 10, series...))
+}
 
-	fmt.Printf("policy=%s capacity=%v duration=%v runs=%d seed=%d\n",
-		*policyFlag, capacity, *durationFlag, *runsFlag, *seedFlag)
+// runReplicated fans -runs seeded replicas over the harness pool — at
+// either fidelity — and prints per-job statistics across runs.
+func runReplicated(b backend.Backend, scn *config.Scenario) error {
+	results, err := experiments.ScenarioGrid(context.Background(), b, scn,
+		*runsFlag, *seedFlag, *workersFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario=%s level=%s policy=%s capacity=%v duration=%v runs=%d seed=%d\n",
+		results[0].Scenario, results[0].Backend, results[0].Policy,
+		results[0].Capacity, results[0].Duration, *runsFlag, *seedFlag)
 	var rows [][]string
-	for i, p := range profiles {
+	for i, j := range results[0].Jobs {
 		var sl metrics.Series
 		iters := 0
-		for _, r := range runs {
-			sl = append(sl, r.slowdown[i])
-			iters += r.iters[i]
+		for _, r := range results {
+			sl = append(sl, r.Jobs[i].Slowdown(*skipFlag))
+			iters += r.Jobs[i].Iterations()
 		}
 		rows = append(rows, []string{
-			fmt.Sprintf("J%d(%s)", i+1, p.Name),
-			fmt.Sprintf("%d", iters/len(runs)),
+			j.Name,
+			fmt.Sprintf("%d", iters/len(results)),
 			fmt.Sprintf("%.3f", sl.Mean()),
 			fmt.Sprintf("%.3f", sl.Std()),
 			fmt.Sprintf("%.3f", sl.Min()),
@@ -279,41 +230,5 @@ func runReplicated(profiles []workload.Profile, capacity units.Rate,
 		})
 	}
 	fmt.Print(trace.Table([]string{"job", "avg iters", "mean slowdown", "std", "min", "max"}, rows))
-}
-
-func runPacket(profiles []workload.Profile) {
-	if *runsFlag > 1 {
-		fmt.Fprintln(os.Stderr, "note: -runs replication applies to -level fluid only; running a single packet-level simulation")
-	}
-	for _, p := range profiles {
-		if p.Name != "gpt2" {
-			fmt.Fprintln(os.Stderr, "packet level currently runs identical gpt2 jobs (scaled to a 500 Mbps bottleneck)")
-			os.Exit(2)
-		}
-	}
-	var res experiments.PacketLevelResult
-	switch *policyFlag {
-	case "mltcp":
-		res = experiments.PacketLevel(len(profiles),
-			experiments.MLTCPRenoFactory(400*sim.Millisecond), "mltcp-reno",
-			sim.FromDuration(*durationFlag), sim.FromDuration(*noiseFlag))
-	case "reno":
-		res = experiments.PacketLevel(len(profiles),
-			experiments.RenoFactory(), "reno",
-			sim.FromDuration(*durationFlag), sim.FromDuration(*noiseFlag))
-	default:
-		fmt.Fprintf(os.Stderr, "packet level supports -policy mltcp or reno, not %q\n", *policyFlag)
-		os.Exit(2)
-	}
-	fmt.Printf("packet-level cc=%s ideal=%v interleaved-at=%d\n", res.CC, res.Ideal, res.InterleavedAt)
-	var rows [][]string
-	for i, avg := range res.SteadyAvg {
-		rows = append(rows, []string{
-			fmt.Sprintf("J%d", i+1),
-			fmt.Sprintf("%d", len(res.IterTimes[i])),
-			fmt.Sprintf("%.3f", avg.Seconds()),
-			fmt.Sprintf("%.2f×", avg.Seconds()/res.Ideal.Seconds()),
-		})
-	}
-	fmt.Print(trace.Table([]string{"job", "iters", "steady iter (s)", "slowdown"}, rows))
+	return nil
 }

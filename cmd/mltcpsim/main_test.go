@@ -2,6 +2,7 @@ package main
 
 import (
 	"testing"
+	"time"
 )
 
 func TestParseJobs(t *testing.T) {
@@ -20,5 +21,53 @@ func TestParseJobsUnknown(t *testing.T) {
 	}
 	if _, err := parseJobs(""); err == nil {
 		t.Error("empty spec accepted")
+	}
+}
+
+func TestScenarioFromFlags(t *testing.T) {
+	scn, err := scenarioFromFlags("gpt3,gpt2", "mltcp-cubic", 25,
+		60*time.Second, 20*time.Millisecond, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.Policy != "mltcp-cubic" || scn.CapacityGbps != 25 || scn.DurationSec != 60 {
+		t.Errorf("scenario header: %+v", scn)
+	}
+	if len(scn.Jobs) != 2 || scn.Jobs[0].Profile != "gpt3" || scn.Jobs[1].Profile != "gpt2" {
+		t.Errorf("jobs: %+v", scn.Jobs)
+	}
+	if scn.Jobs[0].NoiseMS != 5 {
+		t.Errorf("noise_ms = %v, want 5", scn.Jobs[0].NoiseMS)
+	}
+	if scn.StaggerMS == nil || *scn.StaggerMS != 20 {
+		t.Errorf("stagger_ms = %v, want 20", scn.StaggerMS)
+	}
+	specs := scn.Specs()
+	if len(specs) != 2 || specs[1].StartOffset != specs[0].StartOffset+scn.Stagger() {
+		t.Errorf("specs not staggered: %+v", specs)
+	}
+}
+
+func TestScenarioFromFlagsRejects(t *testing.T) {
+	if _, err := scenarioFromFlags("gpt9", "mltcp", 50, time.Second, 0, 0); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := scenarioFromFlags("gpt2", "bogus", 50, time.Second, 0, 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPickBackend(t *testing.T) {
+	for level, want := range map[string]string{"fluid": "fluid", "packet": "packet"} {
+		b, err := pickBackend(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name() != want {
+			t.Errorf("pickBackend(%s).Name() = %s", level, b.Name())
+		}
+	}
+	if _, err := pickBackend("ns3"); err == nil {
+		t.Error("unknown level accepted")
 	}
 }

@@ -1,0 +1,249 @@
+// Package backend runs a config.Scenario at a chosen simulation fidelity
+// behind one interface. The fluid backend integrates the flow-level model
+// (internal/fluid); the packet backend compiles the same scenario into a
+// dumbbell topology with full TCP senders (internal/netsim + internal/tcp
+// + internal/core). Both return the same Result shape, so every layer
+// above — experiment sweeps, harness replication, the CLI — is fidelity
+// agnostic, and cross-fidelity agreement on a shared scenario becomes a
+// checkable property instead of a hand-maintained pair of code paths.
+//
+// Run is a pure function of (scenario, seed): two calls with equal
+// arguments return DeepEqual results on any goroutine, which is what lets
+// internal/harness replicate backends across a worker pool
+// deterministically.
+package backend
+
+import (
+	"context"
+
+	"mltcp/internal/config"
+	"mltcp/internal/sched"
+	"mltcp/internal/sim"
+	"mltcp/internal/units"
+	"mltcp/internal/workload"
+)
+
+// Backend runs one scenario at one fidelity.
+type Backend interface {
+	// Name identifies the fidelity ("fluid", "packet").
+	Name() string
+	// Run simulates the scenario to its horizon. seed feeds every noise
+	// stream in the run (each job derives a private stream from it), so
+	// distinct seeds give independent replicas and equal seeds identical
+	// results. The scenario is not mutated. ctx cancellation aborts the
+	// run between integration chunks with ctx.Err().
+	Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Result, error)
+}
+
+// JobResult is one job's outcome, common to both fidelities.
+type JobResult struct {
+	// Name labels the job; Profile names its model shape.
+	Name    string
+	Profile string
+	// Ideal is the isolated iteration time at the backend's scale (both
+	// backends preserve the unscaled value by construction).
+	Ideal sim.Time
+	// BytesPerIter is the configured per-iteration communication volume
+	// at the backend's native scale (multiply by 1/Result.Scale for
+	// scenario units).
+	BytesPerIter int64
+	// DeliveredBytes is the total communication volume actually delivered
+	// over the run, at the backend's native scale.
+	DeliveredBytes int64
+	// CommStarts and CommEnds bracket each communication phase. A final
+	// phase still in flight at the horizon has a start without an end.
+	CommStarts []sim.Time
+	CommEnds   []sim.Time
+	// IterTimes[i] is CommStarts[i+1] - CommStarts[i], the training
+	// iteration durations.
+	IterTimes []sim.Time
+	// FCTs[i] is CommEnds[i] - CommStarts[i], the per-iteration flow
+	// completion times.
+	FCTs []sim.Time
+	// CwndTrace samples the congestion window over time (packets).
+	// Packet backend only: the fluid abstraction has no window — its
+	// analogue, the weight F(bytes_ratio), is a pure function of
+	// progress.
+	CwndTrace []float64
+	// FinalCwnd is the last window sample (0 for the fluid backend).
+	FinalCwnd float64
+	// Bandwidth is the job's delivered rate in bits/second per trace
+	// bucket. Fluid backend with TraceBucket set only.
+	Bandwidth []float64
+}
+
+// Iterations returns the number of completed communication phases.
+func (j JobResult) Iterations() int { return len(j.CommEnds) }
+
+// SteadyIter averages iteration times after skipping the first `skip`
+// (the convergence transient). If fewer than skip+1 iterations exist it
+// averages the second half instead, and returns 0 with no iterations.
+func (j JobResult) SteadyIter(skip int) sim.Time {
+	n := len(j.IterTimes)
+	if n == 0 {
+		return 0
+	}
+	if skip >= n {
+		skip = n / 2
+	}
+	var sum sim.Time
+	for _, d := range j.IterTimes[skip:] {
+		sum += d
+	}
+	return sum / sim.Time(n-skip)
+}
+
+// Slowdown is SteadyIter(skip) / Ideal.
+func (j JobResult) Slowdown(skip int) float64 {
+	if j.Ideal <= 0 {
+		return 0
+	}
+	return j.SteadyIter(skip).Seconds() / j.Ideal.Seconds()
+}
+
+// Result is one backend run's outcome.
+type Result struct {
+	// Backend is the fidelity that produced the result.
+	Backend string
+	// Scenario and Policy echo the normalized scenario.
+	Scenario string
+	Policy   string
+	// Capacity is the bottleneck rate at the backend's native scale;
+	// Scale is the factor applied to the scenario (1 for fluid).
+	Capacity units.Rate
+	Scale    float64
+	// Duration is the simulated horizon.
+	Duration sim.Time
+	// Jobs holds per-job outcomes in scenario order.
+	Jobs []JobResult
+	// InterleavedAt is the first iteration index from which every job's
+	// remaining iteration times stay within InterleaveTol of its ideal
+	// (-1 if never within the horizon).
+	InterleavedAt int
+	// OverlapScore is the fraction of communication time spent overlapping
+	// with at least one other job over the second half of the horizon:
+	// ∫ max(k-1,0) dt / ∫ k dt for k = concurrently communicating jobs.
+	// 0 means fully interleaved; (n-1)/n means all n always collide.
+	OverlapScore float64
+}
+
+// InterleaveTol is the per-iteration tolerance (relative to ideal) used
+// for InterleavedAt, matching the packet-level convergence band used
+// throughout the experiments.
+const InterleaveTol = 0.08
+
+// interleavedAt returns the first iteration from which every job's
+// iteration times stay within tol of its own ideal, -1 if never.
+func interleavedAt(jobs []JobResult, tol float64) int {
+	maxIter := 0
+	for _, j := range jobs {
+		if len(j.IterTimes) > maxIter {
+			maxIter = len(j.IterTimes)
+		}
+	}
+	for k := 0; k < maxIter; k++ {
+		ok := true
+		for _, j := range jobs {
+			ideal := j.Ideal.Seconds()
+			for _, d := range j.IterTimes[min(k, len(j.IterTimes)):] {
+				if diff := d.Seconds()/ideal - 1; diff > tol || diff < -tol {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return k
+		}
+	}
+	return -1
+}
+
+// overlapScore sweeps the jobs' communication intervals clipped to
+// [from, until) and returns ∫ max(k-1,0) dt / ∫ k dt, where k(t) is the
+// number of jobs communicating at t. Phases without a recorded end are
+// treated as extending to `until`.
+func overlapScore(jobs []JobResult, from, until sim.Time) float64 {
+	type edge struct {
+		at sim.Time
+		d  int
+	}
+	var edges []edge
+	for _, j := range jobs {
+		for i, s := range j.CommStarts {
+			e := until
+			if i < len(j.CommEnds) {
+				e = j.CommEnds[i]
+			}
+			if e <= from || s >= until {
+				continue
+			}
+			if s < from {
+				s = from
+			}
+			if e > until {
+				e = until
+			}
+			if e > s {
+				edges = append(edges, edge{s, +1}, edge{e, -1})
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return 0
+	}
+	// Insertion sort by time, ends before starts at ties (a phase ending
+	// exactly when another starts is interleaved, not overlapping).
+	for i := 1; i < len(edges); i++ {
+		for k := i; k > 0 && (edges[k].at < edges[k-1].at ||
+			(edges[k].at == edges[k-1].at && edges[k].d < edges[k-1].d)); k-- {
+			edges[k], edges[k-1] = edges[k-1], edges[k]
+		}
+	}
+	var commTime, overlapTime float64
+	depth := 0
+	prev := edges[0].at
+	for _, e := range edges {
+		dt := (e.at - prev).Seconds()
+		if depth > 0 {
+			commTime += float64(depth) * dt
+			if depth > 1 {
+				overlapTime += float64(depth-1) * dt
+			}
+		}
+		depth += e.d
+		prev = e.at
+	}
+	if commTime == 0 {
+		return 0
+	}
+	return overlapTime / commTime
+}
+
+// finishResult fills the derived fields every backend shares.
+func finishResult(r *Result) {
+	r.InterleavedAt = interleavedAt(r.Jobs, InterleaveTol)
+	r.OverlapScore = overlapScore(r.Jobs, r.Duration/2, r.Duration)
+}
+
+// centralOffsets runs the Cassini-style offline optimizer over the
+// scenario's job shapes and returns the interleaving start offsets. The
+// shapes use the unscaled capacity: packet scaling preserves periods and
+// comm durations, so the same offsets are optimal at either fidelity.
+func centralOffsets(specs []workload.Spec, capacity units.Rate, seed uint64) []sim.Time {
+	shapes := make([]sched.Shape, len(specs))
+	for i, spec := range specs {
+		shapes[i] = sched.ShapeOf(spec.Profile, capacity)
+	}
+	return sched.Optimize(shapes, sched.Options{Seed: seed}).Offsets
+}
+
+// jobSeed derives the per-job noise-stream seed from the run seed and the
+// spec's configured seed (distinct per spec by construction in
+// config.Specs), so replicas are independent and runs reproducible.
+func jobSeed(runSeed uint64, spec workload.Spec) uint64 {
+	return sim.DeriveSeed(runSeed, spec.Seed)
+}

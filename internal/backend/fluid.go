@@ -1,0 +1,104 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+
+	"mltcp/internal/config"
+	"mltcp/internal/fluid"
+	"mltcp/internal/sim"
+)
+
+// Fluid runs scenarios on the flow-level simulator: milliseconds of wall
+// time, exact phase boundaries, the weighted-share abstraction §4's
+// analysis is stated in. The zero value is ready to use.
+type Fluid struct {
+	// Step overrides the fluid integration step (0 = fluid default 1ms).
+	Step sim.Time
+	// TraceBucket, when positive, records per-job bandwidth into
+	// JobResult.Bandwidth buckets of this width.
+	TraceBucket sim.Time
+}
+
+// Name implements Backend.
+func (*Fluid) Name() string { return "fluid" }
+
+// Run implements Backend.
+func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Result, error) {
+	s := *scn
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	specs := s.Specs()
+	var offsets []sim.Time
+	if s.Centralized() {
+		offsets = centralOffsets(specs, s.Capacity(), seed)
+	}
+
+	agg := s.Agg()
+	jobs := make([]*fluid.Job, len(specs))
+	for i, spec := range specs {
+		spec.Seed = jobSeed(seed, spec)
+		if offsets != nil {
+			spec.StartOffset = offsets[i]
+		}
+		jobs[i] = &fluid.Job{Spec: spec, Agg: agg}
+	}
+
+	fsim := fluid.New(fluid.Config{
+		Capacity:    s.Capacity(),
+		Policy:      s.FluidPolicy(),
+		Step:        b.Step,
+		TraceBucket: b.TraceBucket,
+	}, jobs)
+
+	// Integrate in chunks so a cancelled context (harness point timeout,
+	// ^C) aborts a long horizon promptly.
+	horizon := s.Duration()
+	const chunks = 16
+	for c := sim.Time(1); c <= chunks; c++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("backend: fluid run aborted: %w", err)
+		}
+		fsim.Run(horizon * c / chunks)
+	}
+
+	res := &Result{
+		Backend:  b.Name(),
+		Scenario: s.Name,
+		Policy:   s.Policy,
+		Capacity: s.Capacity(),
+		Scale:    1,
+		Duration: horizon,
+	}
+	for _, j := range jobs {
+		bytes := int64(j.Spec.Profile.CommBytes)
+		delivered := int64(len(j.CommEnds)) * bytes
+		if j.Communicating() {
+			delivered += int64(j.Attained())
+		}
+		jr := JobResult{
+			Name:           j.Spec.Label(),
+			Profile:        j.Spec.Profile.Name,
+			Ideal:          j.Spec.Profile.IdealIterTime(s.Capacity()),
+			BytesPerIter:   bytes,
+			DeliveredBytes: delivered,
+			CommStarts:     j.CommStarts,
+			CommEnds:       j.CommEnds,
+			IterTimes:      j.IterDurations,
+		}
+		for i := range j.CommEnds {
+			jr.FCTs = append(jr.FCTs, j.CommEnds[i]-j.CommStarts[i])
+		}
+		if b.TraceBucket > 0 {
+			rates := fsim.Trace(j)
+			jr.Bandwidth = make([]float64, len(rates))
+			for k, r := range rates {
+				jr.Bandwidth[k] = float64(r)
+			}
+		}
+		res.Jobs = append(res.Jobs, jr)
+	}
+	finishResult(res)
+	return res, nil
+}

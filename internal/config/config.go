@@ -1,6 +1,8 @@
 // Package config loads experiment scenarios from JSON, so cluster
 // configurations can be versioned and replayed with cmd/mltcpsim -config
-// instead of being encoded in flags.
+// instead of being encoded in flags. A Scenario is fidelity-agnostic: the
+// same description runs on the fluid simulator or the packet-level TCP
+// stack through internal/backend.
 package config
 
 import (
@@ -21,14 +23,27 @@ type Scenario struct {
 	Name string `json:"name"`
 	// CapacityGbps is the bottleneck rate (default 50).
 	CapacityGbps float64 `json:"capacity_gbps"`
-	// Policy is the scheduling scheme: mltcp, reno, srpt, pdq, las,
-	// pias (default mltcp).
+	// Policy is the scheduling scheme. Congestion-control policies (reno,
+	// cubic, dctcp, d2tcp, swift, and their mltcp-wrapped variants mltcp,
+	// mltcp-cubic, mltcp-dctcp, mltcp-d2tcp, mltcp-swift) run at either
+	// fidelity; srpt, pdq, las, and pias are fluid-only in-network
+	// disciplines; centralized applies the Cassini-style offset optimizer
+	// at either fidelity. Default mltcp.
 	Policy string `json:"policy"`
 	// DurationSec is the simulated horizon (default 120).
 	DurationSec float64 `json:"duration_sec"`
 	// SlopeIntercept optionally overrides Equation 2's parameters for
 	// mltcp policies ([slope, intercept]).
 	SlopeIntercept []float64 `json:"slope_intercept,omitempty"`
+	// StaggerMS is the automatic start-time stagger between successive
+	// jobs, on top of each job's OffsetMS (nil = default 10ms; 0 disables).
+	StaggerMS *float64 `json:"stagger_ms,omitempty"`
+	// PacketScale shrinks the packet-level rendering of the scenario:
+	// the bottleneck runs at CapacityGbps×PacketScale and byte volumes are
+	// scaled likewise, preserving every iteration time while keeping packet
+	// counts tractable (default 0.01, the paper-testbed 1/100 scale). The
+	// fluid backend ignores it.
+	PacketScale float64 `json:"packet_scale,omitempty"`
 	// Jobs lists the workload.
 	Jobs []Job `json:"jobs"`
 }
@@ -48,11 +63,47 @@ type Job struct {
 	// NoiseMS is the compute-time noise std.
 	NoiseMS float64 `json:"noise_ms,omitempty"`
 	// Count replicates the job (default 1); replicas are staggered by
-	// 10ms each beyond OffsetMS.
+	// StaggerMS each beyond OffsetMS.
 	Count int `json:"count,omitempty"`
 	// Seed drives the job's noise stream (replicas add their index).
 	Seed uint64 `json:"seed,omitempty"`
 }
+
+// ccPolicies maps every congestion-control policy name to its base
+// algorithm and whether the MLTCP wrapper applies. These are the policies
+// both backends understand.
+var ccPolicies = map[string]struct {
+	Base  string
+	MLTCP bool
+}{
+	"reno":        {"reno", false},
+	"cubic":       {"cubic", false},
+	"dctcp":       {"dctcp", false},
+	"d2tcp":       {"d2tcp", false},
+	"swift":       {"swift", false},
+	"mltcp":       {"reno", true},
+	"mltcp-reno":  {"reno", true},
+	"mltcp-cubic": {"cubic", true},
+	"mltcp-dctcp": {"dctcp", true},
+	"mltcp-d2tcp": {"d2tcp", true},
+	"mltcp-swift": {"swift", true},
+}
+
+// fluidOnlyPolicies are in-network scheduling disciplines the packet
+// backend does not implement.
+var fluidOnlyPolicies = map[string]bool{
+	"srpt": true, "pdq": true, "las": true, "pias": true,
+}
+
+// CCPolicyNames returns the congestion-control policy names both backends
+// accept, in a stable order (for error messages and usage strings).
+func CCPolicyNames() []string {
+	return []string{"reno", "cubic", "dctcp", "d2tcp", "swift",
+		"mltcp", "mltcp-reno", "mltcp-cubic", "mltcp-dctcp", "mltcp-d2tcp", "mltcp-swift"}
+}
+
+// FluidOnlyPolicyNames returns the fluid-only scheduling policies.
+func FluidOnlyPolicyNames() []string { return []string{"srpt", "pdq", "las", "pias"} }
 
 // Load parses and validates a scenario.
 func Load(r io.Reader) (Scenario, error) {
@@ -62,11 +113,21 @@ func Load(r io.Reader) (Scenario, error) {
 	if err := dec.Decode(&s); err != nil {
 		return Scenario{}, fmt.Errorf("config: %w", err)
 	}
-	if err := s.validate(); err != nil {
+	if err := s.Normalize(); err != nil {
 		return Scenario{}, err
 	}
-	s.applyDefaults()
 	return s, nil
+}
+
+// Normalize validates the scenario and fills defaulted fields in place.
+// Scenarios constructed in code (rather than via Load) must be normalized
+// before use; backends call it on their private copy.
+func (s *Scenario) Normalize() error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	s.applyDefaults()
+	return nil
 }
 
 func (s *Scenario) applyDefaults() {
@@ -79,6 +140,9 @@ func (s *Scenario) applyDefaults() {
 	if s.DurationSec == 0 {
 		s.DurationSec = 120
 	}
+	if s.PacketScale == 0 {
+		s.PacketScale = 0.01
+	}
 }
 
 func (s *Scenario) validate() error {
@@ -88,13 +152,19 @@ func (s *Scenario) validate() error {
 	if s.CapacityGbps < 0 || s.DurationSec < 0 {
 		return fmt.Errorf("config: negative capacity or duration")
 	}
-	switch s.Policy {
-	case "", "mltcp", "reno", "srpt", "pdq", "las", "pias":
-	default:
-		return fmt.Errorf("config: unknown policy %q", s.Policy)
+	if _, cc := ccPolicies[s.Policy]; !cc && !fluidOnlyPolicies[s.Policy] &&
+		s.Policy != "" && s.Policy != "centralized" {
+		return fmt.Errorf("config: unknown policy %q (congestion control: %v; fluid-only: %v; or centralized)",
+			s.Policy, CCPolicyNames(), FluidOnlyPolicyNames())
 	}
 	if s.SlopeIntercept != nil && len(s.SlopeIntercept) != 2 {
 		return fmt.Errorf("config: slope_intercept needs exactly [slope, intercept]")
+	}
+	if s.StaggerMS != nil && *s.StaggerMS < 0 {
+		return fmt.Errorf("config: negative stagger_ms")
+	}
+	if s.PacketScale < 0 || s.PacketScale > 1 {
+		return fmt.Errorf("config: packet_scale %v outside (0, 1]", s.PacketScale)
 	}
 	known := workload.Profiles()
 	for i, j := range s.Jobs {
@@ -125,10 +195,39 @@ func (s Scenario) Capacity() units.Rate { return units.Rate(s.CapacityGbps) * un
 // Duration returns the simulated horizon.
 func (s Scenario) Duration() sim.Time { return sim.FromSeconds(s.DurationSec) }
 
+// Stagger returns the automatic inter-job start stagger.
+func (s Scenario) Stagger() sim.Time {
+	if s.StaggerMS == nil {
+		return 10 * sim.Millisecond
+	}
+	return sim.FromSeconds(*s.StaggerMS / 1000)
+}
+
+// Scale returns the packet-level scale factor (1/100 by default).
+func (s Scenario) Scale() float64 {
+	if s.PacketScale == 0 {
+		return 0.01
+	}
+	return s.PacketScale
+}
+
+// CC resolves the scenario's policy as a congestion-control choice:
+// the base algorithm name (reno, cubic, dctcp, d2tcp, swift) and whether
+// the MLTCP wrapper applies. ok is false for non-CC policies (srpt, pdq,
+// las, pias, centralized).
+func (s Scenario) CC() (base string, mltcp, ok bool) {
+	p, ok := ccPolicies[s.Policy]
+	return p.Base, p.MLTCP, ok
+}
+
+// Centralized reports whether the scenario uses the offline offset
+// optimizer instead of a distributed scheme.
+func (s Scenario) Centralized() bool { return s.Policy == "centralized" }
+
 // Agg returns the aggressiveness function for mltcp policies (nil for
 // others).
 func (s Scenario) Agg() *core.AggFunc {
-	if s.Policy != "mltcp" {
+	if p, ok := ccPolicies[s.Policy]; !ok || !p.MLTCP {
 		return nil
 	}
 	f := core.Default()
@@ -149,16 +248,20 @@ func (s Scenario) FluidPolicy() fluid.Policy {
 		return fluid.LAS{}
 	case "pias":
 		return fluid.PIAS{Thresholds: []int64{int64(100 * units.MB), int64(1000 * units.MB)}}
-	default: // mltcp and reno both share by CC weight
+	default: // every CC policy (and centralized) shares by CC weight
 		return fluid.WeightedShare{}
 	}
 }
 
-// BuildJobs expands the scenario into fluid jobs.
-func (s Scenario) BuildJobs() []*fluid.Job {
-	agg := s.Agg()
+// Specs expands the scenario's job list into backend-neutral workload
+// specs: replica groups are unrolled, offsets accumulate the automatic
+// stagger, and every spec gets a distinct seed. Both backends compile
+// their jobs from this one expansion, so fidelities agree on the workload
+// by construction.
+func (s Scenario) Specs() []workload.Spec {
 	known := workload.Profiles()
-	var jobs []*fluid.Job
+	stagger := s.Stagger()
+	var specs []workload.Spec
 	for ji, j := range s.Jobs {
 		count := j.Count
 		if count == 0 {
@@ -180,17 +283,25 @@ func (s Scenario) BuildJobs() []*fluid.Job {
 			if count > 1 {
 				name = fmt.Sprintf("%s-%d", name, c+1)
 			}
-			jobs = append(jobs, &fluid.Job{
-				Spec: workload.Spec{
-					Name:        name,
-					Profile:     prof,
-					StartOffset: sim.FromSeconds(j.OffsetMS/1000) + sim.Time(len(jobs))*10*sim.Millisecond,
-					NoiseStd:    sim.FromSeconds(j.NoiseMS / 1000),
-					Seed:        j.Seed + uint64(ji*100+c),
-				},
-				Agg: agg,
+			specs = append(specs, workload.Spec{
+				Name:        name,
+				Profile:     prof,
+				StartOffset: sim.FromSeconds(j.OffsetMS/1000) + sim.Time(len(specs))*stagger,
+				NoiseStd:    sim.FromSeconds(j.NoiseMS / 1000),
+				Seed:        j.Seed + uint64(ji*100+c),
 			})
 		}
+	}
+	return specs
+}
+
+// BuildJobs expands the scenario into fluid jobs.
+func (s Scenario) BuildJobs() []*fluid.Job {
+	agg := s.Agg()
+	specs := s.Specs()
+	jobs := make([]*fluid.Job, len(specs))
+	for i, spec := range specs {
+		jobs[i] = &fluid.Job{Spec: spec, Agg: agg}
 	}
 	return jobs
 }

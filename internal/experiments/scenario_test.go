@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/config"
+)
+
+// gridScenario is cheap enough to replicate many times at either
+// fidelity: two noisy jobs, a short horizon.
+func gridScenario() *config.Scenario {
+	return &config.Scenario{
+		Name: "grid", Policy: "mltcp", DurationSec: 4,
+		Jobs: []config.Job{
+			{Name: "A", ComputeMS: 300, CommMB: 250, NoiseMS: 10},
+			{Name: "B", ComputeMS: 150, CommMB: 125, NoiseMS: 10},
+		},
+	}
+}
+
+// ScenarioGrid must return the same result slice at any worker count:
+// replica seeds derive from (baseSeed, index), never from scheduling.
+func TestScenarioGridDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	for _, b := range []backend.Backend{&backend.Fluid{}, &backend.Packet{}} {
+		serial, err := ScenarioGrid(ctx, b, gridScenario(), 6, 11, 1)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", b.Name(), err)
+		}
+		pooled, err := ScenarioGrid(ctx, b, gridScenario(), 6, 11, 8)
+		if err != nil {
+			t.Fatalf("%s workers=8: %v", b.Name(), err)
+		}
+		if !reflect.DeepEqual(serial, pooled) {
+			t.Errorf("%s: workers=1 and workers=8 results differ", b.Name())
+		}
+		if len(serial) != 6 {
+			t.Fatalf("%s: got %d results, want 6", b.Name(), len(serial))
+		}
+		// Replicas must be independent draws, not copies of replica 0.
+		distinct := false
+		for _, r := range serial[1:] {
+			if !reflect.DeepEqual(serial[0].Jobs, r.Jobs) {
+				distinct = true
+				break
+			}
+		}
+		if !distinct {
+			t.Errorf("%s: all replicas identical despite per-job noise", b.Name())
+		}
+	}
+}
+
+func TestScenarioGridSurfacesBackendErrors(t *testing.T) {
+	t.Parallel()
+	scn := gridScenario()
+	scn.Policy = "srpt" // fluid-only: the packet backend rejects it
+	if _, err := ScenarioGrid(context.Background(), &backend.Packet{}, scn, 3, 1, 2); err == nil {
+		t.Fatal("ScenarioGrid swallowed a per-point backend error")
+	}
+}
+
+// Cross-fidelity validation (the m4 property): the canonical two-job
+// scenario must tell the same convergence story at both fidelities.
+// Tolerances are the documented agreement contract:
+//   - per-job steady-state slowdown within 0.05 of each other,
+//   - overlap scores within 0.10,
+//   - per-iteration byte totals exact after unscaling (the packet scale
+//     divides the profile byte counts, so rounding introduces no error),
+//   - both fidelities interleave (InterleavedAt >= 0) under MLTCP.
+func TestCrossFidelityCanonicalAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("90s-horizon packet run")
+	}
+	t.Parallel()
+	cf, err := CrossFidelityCanonical(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.MaxSlowdownGap > 0.05 {
+		t.Errorf("max slowdown gap %.4f exceeds 0.05 (gaps %v)", cf.MaxSlowdownGap, cf.SlowdownGap)
+	}
+	if cf.OverlapGap > 0.10 {
+		t.Errorf("overlap gap %.4f exceeds 0.10 (fluid %.3f, packet %.3f)",
+			cf.OverlapGap, cf.Fluid.OverlapScore, cf.Packet.OverlapScore)
+	}
+	for i, gap := range cf.BytesPerIterGap {
+		if gap != 0 {
+			t.Errorf("job %d: per-iteration byte gap %.6f, want exact", i, gap)
+		}
+	}
+	if cf.Fluid.InterleavedAt < 0 {
+		t.Error("fluid run never interleaved under MLTCP")
+	}
+	if cf.Packet.InterleavedAt < 0 {
+		t.Error("packet run never interleaved under MLTCP")
+	}
+	for i := range cf.Fluid.Jobs {
+		if f, p := cf.Fluid.Jobs[i].Iterations(), cf.Packet.Jobs[i].Iterations(); f < 30 || p < 30 {
+			t.Errorf("job %d: too few iterations to compare (fluid %d, packet %d)", i, f, p)
+		}
+	}
+}
