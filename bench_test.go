@@ -17,6 +17,7 @@ import (
 	"mltcp/internal/analysis"
 	"mltcp/internal/backend"
 	"mltcp/internal/collective"
+	"mltcp/internal/config"
 	"mltcp/internal/core"
 	"mltcp/internal/experiments"
 	"mltcp/internal/fluid"
@@ -24,6 +25,7 @@ import (
 	"mltcp/internal/netsim"
 	"mltcp/internal/sim"
 	"mltcp/internal/tcp"
+	"mltcp/internal/telemetry"
 	"mltcp/internal/units"
 	"mltcp/internal/workload"
 )
@@ -211,6 +213,43 @@ func BenchmarkBackendComparison(b *testing.B) {
 	b.ReportMetric(worst(cf.Packet), "packet-worst-slowdown")
 	b.ReportMetric(cf.MaxSlowdownGap, "slowdown-gap")
 	b.ReportMetric(cf.OverlapGap, "overlap-gap")
+}
+
+// BenchmarkTelemetryOverhead measures the telemetry subsystem's cost on a
+// packet-level run: baseline (no recorder — the nil fast path every
+// untraced run takes), discard (full event construction into a dropping
+// sink), and buffer (events retained and metrics aggregated, as under
+// mltcpsim -trace). baseline vs the pre-telemetry revision bounds the
+// nil-check tax; baseline vs buffer is the price of tracing.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	scn := &config.Scenario{
+		Name:        "telemetry-overhead",
+		Policy:      "mltcp",
+		DurationSec: 20,
+		Jobs: []config.Job{
+			{Name: "J1", Profile: "gpt2"},
+			{Name: "J2", Profile: "gpt2"},
+		},
+	}
+	run := func(b *testing.B, ctx context.Context) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (&backend.Packet{}).Run(ctx, scn, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("baseline", func(b *testing.B) {
+		run(b, context.Background())
+	})
+	b.Run("discard", func(b *testing.B) {
+		rec := telemetry.New(telemetry.Discard, telemetry.Options{})
+		run(b, telemetry.WithRecorder(context.Background(), rec))
+	})
+	b.Run("buffer", func(b *testing.B) {
+		rec, buf, _ := telemetry.NewBuffered(telemetry.Options{})
+		run(b, telemetry.WithRecorder(context.Background(), rec))
+		b.ReportMetric(float64(buf.Len())/float64(b.N), "events/run")
+	})
 }
 
 // --- Ablations ---

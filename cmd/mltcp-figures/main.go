@@ -19,8 +19,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
+	"mltcp/internal/backend"
+	"mltcp/internal/config"
 	"mltcp/internal/core"
 	"mltcp/internal/experiments"
 	"mltcp/internal/fluid"
@@ -28,15 +31,17 @@ import (
 	"mltcp/internal/report"
 	"mltcp/internal/sim"
 	"mltcp/internal/svgplot"
+	"mltcp/internal/telemetry"
 	"mltcp/internal/trace"
 )
 
 var (
-	figFlag = flag.String("fig", "all", "figure to regenerate (1, 2a, 2b, 2c, 3, 4, 5, 6, noise, fairness, multires, sweep, scale, fct, mixed, robust, churn, compare, all)")
-	csvFlag = flag.Bool("csv", false, "emit CSV series instead of tables/charts")
-	svgDir  = flag.String("svgdir", "", "also write each figure as an SVG file into this directory")
-	reportF = flag.String("report", "", "write a full Markdown paper-vs-measured report to this file and exit")
-	workers = flag.Int("workers", 0, "worker goroutines for grid figures (sweep, scale, fct, robust); 0 = one per CPU")
+	figFlag  = flag.String("fig", "all", "figure to regenerate (see -fig help for the list)")
+	csvFlag  = flag.Bool("csv", false, "emit CSV series instead of tables/charts")
+	svgDir   = flag.String("svgdir", "", "also write each figure as an SVG file into this directory")
+	reportF  = flag.String("report", "", "write a full Markdown paper-vs-measured report to this file and exit")
+	workers  = flag.Int("workers", 0, "worker goroutines for grid figures (sweep, scale, fct, robust); 0 = one per CPU")
+	scenario = flag.String("scenario", "examples/scenarios/hetero.json", "scenario file for the hetero figure")
 )
 
 // saveSVG writes a chart into -svgdir (no-op when unset).
@@ -104,13 +109,14 @@ func main() {
 		"robust":   robust,
 		"churn":    churn,
 		"compare":  compare,
+		"hetero":   hetero,
 	}
+	var keys []string
+	for k := range figs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	if *figFlag == "all" {
-		var keys []string
-		for k := range figs {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
 		for _, k := range keys {
 			fmt.Printf("\n===== Figure/claim %s =====\n", k)
 			figs[k]()
@@ -119,7 +125,8 @@ func main() {
 	}
 	fn, ok := figs[*figFlag]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (valid: %s, all)\n",
+			*figFlag, strings.Join(keys, ", "))
 		os.Exit(2)
 	}
 	fn()
@@ -460,6 +467,75 @@ func churn() {
 		})
 	}
 	fmt.Print(trace.Table([]string{"scheme", "jobs done", "mean slowdown", "p95", "worst"}, rows))
+}
+
+// hetero runs the heterogeneous example scenario (-scenario) on the packet
+// backend with telemetry enabled, prints the traced summary, and renders
+// the per-flow congestion-window evolution from the trace events. It skips
+// gracefully when the scenario file is absent (e.g. -fig all from outside
+// the repo root).
+func hetero() {
+	f, err := os.Open(*scenario)
+	if err != nil {
+		fmt.Printf("hetero: scenario %s not found, skipping (run from the repo root or pass -scenario)\n", *scenario)
+		return
+	}
+	scn, err := config.Load(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rec, buf, reg := telemetry.NewBuffered(telemetry.Options{})
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+	res, err := (&backend.Packet{}).Run(ctx, &scn, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("hetero: %s traced end-to-end on the packet backend (%d events)\n",
+		scn.Name, buf.Len())
+	var rows [][]string
+	for _, j := range res.Jobs {
+		rows = append(rows, []string{
+			j.Name,
+			fmt.Sprintf("%d", j.Iterations()),
+			fmt.Sprintf("%.3f", j.SteadyIter(10).Seconds()),
+			fmt.Sprintf("%.3f", j.Ideal.Seconds()),
+			fmt.Sprintf("%.2f×", j.Slowdown(10)),
+		})
+	}
+	fmt.Print(trace.Table([]string{"job", "iters", "avg iter (s)", "ideal (s)", "slowdown"}, rows))
+	fmt.Printf("overlap=%.3f interleaved-at=%d retransmits=%d drops=%d\n",
+		res.OverlapScore, res.InterleavedAt,
+		reg.Counter("tcp.retransmits").Value(), reg.Counter("net.drops").Value())
+
+	// Per-flow cwnd evolution from the trace's cwnd events.
+	cwnd := map[int][]float64{}
+	for _, e := range buf.Events() {
+		if e.Kind == telemetry.KindCwnd {
+			cwnd[e.Flow] = append(cwnd[e.Flow], e.V0)
+		}
+	}
+	var flows []int
+	for fl := range cwnd {
+		flows = append(flows, fl)
+	}
+	sort.Ints(flows)
+	var series []trace.Series
+	for _, fl := range flows {
+		name := fmt.Sprintf("flow %d", fl)
+		if fl-1 < len(res.Jobs) {
+			name = res.Jobs[fl-1].Name
+		}
+		series = append(series, trace.Series{Name: name, Values: cwnd[fl]})
+	}
+	fmt.Print(trace.Chart("cwnd evolution (packets)", 100, 10, series...))
+	saveSVG("hetero-cwnd", &svgplot.Chart{
+		Title:  "Heterogeneous scenario: per-flow cwnd from telemetry trace",
+		XLabel: "cwnd sample (50ms min spacing)", YLabel: "cwnd (packets)",
+		Series: toSVGSeries(series),
+	})
 }
 
 // compare runs the canonical two-job scenario at both fidelities through

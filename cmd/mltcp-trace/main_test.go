@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/config"
+	"mltcp/internal/telemetry"
+)
+
+func tracedScenario() *config.Scenario {
+	return &config.Scenario{
+		Name:        "cli-test",
+		Policy:      "mltcp",
+		DurationSec: 20,
+		Jobs: []config.Job{
+			{Name: "J1", Profile: "gpt2"},
+			{Name: "J2", Profile: "gpt2"},
+		},
+	}
+}
+
+// writeTestTrace runs a short traced fluid scenario and writes its JSONL
+// trace, returning the path and the run's result.
+func writeTestTrace(t *testing.T) (string, *backend.Result) {
+	t.Helper()
+	scn := tracedScenario()
+	rec, buf, reg := telemetry.NewBuffered(telemetry.Options{})
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+	res, err := (&backend.Fluid{}).Run(ctx, scn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := telemetry.Write(&out, rec.Manifest(), buf.Events(), reg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, res
+}
+
+// TestRoundTrip pins the producer→file→consumer pipeline: a trace written
+// by the backend decodes fully and ResultFromTrace reproduces the run's
+// interleaving scores.
+func TestRoundTrip(t *testing.T) {
+	path, res := writeTestTrace(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := telemetry.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Manifest == nil || tr.Metrics == nil || len(tr.Events) == 0 {
+		t.Fatalf("incomplete trace: manifest=%v metrics=%v events=%d",
+			tr.Manifest != nil, tr.Metrics != nil, len(tr.Events))
+	}
+	if tr.Manifest.Backend != "fluid" || len(tr.Manifest.Jobs) != 2 {
+		t.Fatalf("manifest %+v", tr.Manifest)
+	}
+	got, err := backend.ResultFromTrace(tr.Manifest, tr.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.InterleavedAt != res.InterleavedAt || got.OverlapScore != res.OverlapScore {
+		t.Fatalf("scores from trace (%d, %v) != run (%d, %v)",
+			got.InterleavedAt, got.OverlapScore, res.InterleavedAt, res.OverlapScore)
+	}
+	if n := tr.Metrics.Counters["job.iterations"]; n == 0 {
+		t.Fatal("metrics line missing job.iterations")
+	}
+}
+
+// TestRunSummarizes drives the CLI's run() over a real trace file.
+func TestRunSummarizes(t *testing.T) {
+	path, _ := writeTestTrace(t)
+	if err := run(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	got := downsample(vals, 3)
+	want := []float64{1.5, 3.5, 5.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("downsample = %v, want %v", got, want)
+		}
+	}
+	if out := downsample(vals, 10); len(out) != len(vals) {
+		t.Fatal("short input should pass through")
+	}
+}

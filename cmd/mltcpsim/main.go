@@ -28,6 +28,7 @@ import (
 	"mltcp/internal/experiments"
 	"mltcp/internal/metrics"
 	"mltcp/internal/sim"
+	"mltcp/internal/telemetry"
 	"mltcp/internal/trace"
 	"mltcp/internal/workload"
 )
@@ -46,6 +47,7 @@ var (
 	runsFlag     = flag.Int("runs", 1, "seeded replicas of the scenario; >1 reports per-job stats across runs")
 	seedFlag     = flag.Uint64("seed", 1, "base seed; replica r derives its jobs' noise streams from (seed, r)")
 	workersFlag  = flag.Int("workers", 0, "worker goroutines for -runs replication; 0 = one per CPU")
+	traceFlag    = flag.String("trace", "", "write a JSONL telemetry trace of the run to this file (single run only; summarize with mltcp-trace)")
 )
 
 func main() {
@@ -61,6 +63,10 @@ func main() {
 		os.Exit(2)
 	}
 	if *runsFlag > 1 {
+		if *traceFlag != "" {
+			fmt.Fprintln(os.Stderr, "-trace records a single run; drop -runs or set -runs 1")
+			os.Exit(2)
+		}
 		if err := runReplicated(b, scn); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -122,18 +128,15 @@ func scenarioFromFlags(jobs, policy string, gbps float64,
 }
 
 func pickBackend(level string) (backend.Backend, error) {
-	switch level {
-	case "fluid":
-		fl := &backend.Fluid{}
-		if *chartFlag && *runsFlag == 1 {
-			fl.TraceBucket = 50 * sim.Millisecond
-		}
-		return fl, nil
-	case "packet":
-		return &backend.Packet{}, nil
-	default:
-		return nil, fmt.Errorf("unknown level %q (fluid or packet)", level)
+	b, err := backend.New(level)
+	if err != nil {
+		return nil, fmt.Errorf("unknown level %q (valid: %s)",
+			level, strings.Join(backend.Names(), ", "))
 	}
+	if fl, ok := b.(*backend.Fluid); ok && *chartFlag && *runsFlag == 1 {
+		fl.TraceBucket = 50 * sim.Millisecond
+	}
+	return b, nil
 }
 
 func parseJobs(s string) ([]workload.Profile, error) {
@@ -142,7 +145,8 @@ func parseJobs(s string) ([]workload.Profile, error) {
 	for _, name := range strings.Split(s, ",") {
 		p, ok := known[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown profile %q (have gpt3, gpt2, bert, resnet50, vgg16, dlrm)", name)
+			return nil, fmt.Errorf("unknown profile %q (valid: %s)",
+				name, strings.Join(workload.Names(), ", "))
 		}
 		out = append(out, p)
 	}
@@ -153,11 +157,33 @@ func parseJobs(s string) ([]workload.Profile, error) {
 }
 
 // runOnce runs a single replica at the chosen fidelity and prints the
-// per-job table.
+// per-job table. With -trace, the run is recorded and written as JSONL.
 func runOnce(b backend.Backend, scn *config.Scenario) error {
-	res, err := b.Run(context.Background(), scn, *seedFlag)
+	ctx := context.Background()
+	var rec *telemetry.Recorder
+	var buf *telemetry.Buffer
+	var reg *telemetry.Registry
+	if *traceFlag != "" {
+		rec, buf, reg = telemetry.NewBuffered(telemetry.Options{})
+		ctx = telemetry.WithRecorder(ctx, rec)
+	}
+	res, err := b.Run(ctx, scn, *seedFlag)
 	if err != nil {
 		return err
+	}
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.Write(f, rec.Manifest(), buf.Events(), reg); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", buf.Len(), *traceFlag)
 	}
 	fmt.Printf("scenario=%s level=%s policy=%s capacity=%v duration=%v overlap=%.3f interleaved-at=%d\n",
 		res.Scenario, res.Backend, res.Policy, res.Capacity, res.Duration, res.OverlapScore, res.InterleavedAt)

@@ -7,6 +7,7 @@ import (
 	"mltcp/internal/config"
 	"mltcp/internal/fluid"
 	"mltcp/internal/sim"
+	"mltcp/internal/telemetry"
 )
 
 // Fluid runs scenarios on the flow-level simulator: milliseconds of wall
@@ -45,11 +46,31 @@ func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Re
 		jobs[i] = &fluid.Job{Spec: spec, Agg: agg}
 	}
 
+	rec := telemetry.FromContext(ctx)
+	traceBucket := b.TraceBucket
+	if traceBucket == 0 && rec.Enabled() {
+		traceBucket = telemetry.DefaultSampleEvery
+	}
+	if rec.Enabled() {
+		mjobs := make([]telemetry.ManifestJob, len(specs))
+		for i, spec := range specs {
+			mjobs[i] = telemetry.ManifestJob{
+				Flow:         i + 1,
+				Name:         spec.Label(),
+				Profile:      spec.Profile.Name,
+				IdealNS:      int64(spec.Profile.IdealIterTime(s.Capacity())),
+				BytesPerIter: int64(spec.Profile.CommBytes),
+			}
+		}
+		rec.SetManifest(newManifest(&s, b.Name(), seed, s.Capacity(), 1, mjobs))
+	}
+
 	fsim := fluid.New(fluid.Config{
 		Capacity:    s.Capacity(),
 		Policy:      s.FluidPolicy(),
 		Step:        b.Step,
-		TraceBucket: b.TraceBucket,
+		TraceBucket: traceBucket,
+		Telemetry:   rec,
 	}, jobs)
 
 	// Integrate in chunks so a cancelled context (harness point timeout,
@@ -62,6 +83,7 @@ func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Re
 		}
 		fsim.Run(horizon * c / chunks)
 	}
+	fsim.EmitTrace(rec)
 
 	res := &Result{
 		Backend:  b.Name(),

@@ -10,6 +10,7 @@ import (
 	"mltcp/internal/netsim"
 	"mltcp/internal/sim"
 	"mltcp/internal/tcp"
+	"mltcp/internal/telemetry"
 	"mltcp/internal/units"
 )
 
@@ -53,6 +54,8 @@ type pktJob struct {
 	noise   sim.Time
 	rng     *sim.RNG
 	trace   *tcp.CwndTrace
+	rec     *telemetry.Recorder
+	flow    int
 
 	starts, ends []sim.Time
 }
@@ -60,6 +63,7 @@ type pktJob struct {
 func (p *pktJob) start(eng *sim.Engine, offset sim.Time) {
 	p.sender.Drained(func(now sim.Time) {
 		p.ends = append(p.ends, now)
+		p.rec.IterEnd(now, p.flow, len(p.ends)-1, now-p.starts[len(p.ends)-1])
 		compute := p.compute
 		if p.noise > 0 {
 			compute = p.rng.NormDuration(compute, p.noise, 0)
@@ -71,6 +75,7 @@ func (p *pktJob) start(eng *sim.Engine, offset sim.Time) {
 
 func (p *pktJob) begin(eng *sim.Engine) {
 	p.starts = append(p.starts, eng.Now())
+	p.rec.IterStart(eng.Now(), p.flow, len(p.starts)-1)
 	p.sender.Write(p.bytes)
 }
 
@@ -124,6 +129,15 @@ func (b *Packet) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*R
 		cwndEvery = 250 * sim.Millisecond
 	}
 
+	horizon := s.Duration()
+	rec := telemetry.FromContext(ctx)
+	var bwMon *netsim.BandwidthMonitor
+	if rec.Enabled() {
+		net.Forward.SetTelemetry(rec)
+		netsim.NewQueueSampler(eng, net.Forward, telemetry.DefaultSampleEvery, 0, horizon, rec)
+		bwMon = netsim.NewBandwidthMonitor(net.Forward, telemetry.DefaultSampleEvery)
+	}
+
 	jobs := make([]*pktJob, len(specs))
 	for i, spec := range specs {
 		bytes := int64(float64(spec.Profile.CommBytes) * scale)
@@ -135,14 +149,19 @@ func (b *Packet) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*R
 		if err != nil {
 			return nil, err
 		}
+		if m, ok := cc.(*core.MLTCP); ok {
+			m.Instrument(rec, i+1)
+		}
 		f := tcp.NewFlow(eng, netsim.FlowID(i+1), net.Left[i], net.Right[i],
-			cc, tcp.Config{ECN: ecn})
+			cc, tcp.Config{ECN: ecn, Trace: rec})
 		jobs[i] = &pktJob{
 			sender:  f.Sender,
 			bytes:   bytes,
 			compute: spec.Profile.ComputeTime,
 			noise:   spec.NoiseStd,
 			rng:     sim.NewRNG(jobSeed(seed, spec)),
+			rec:     rec,
+			flow:    i + 1,
 		}
 		if cwndEvery > 0 {
 			jobs[i].trace = tcp.SampleCwnd(f.Sender, cwndEvery)
@@ -154,13 +173,29 @@ func (b *Packet) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*R
 		jobs[i].start(eng, off)
 	}
 
-	horizon := s.Duration()
+	if rec.Enabled() {
+		mjobs := make([]telemetry.ManifestJob, len(specs))
+		for i, spec := range specs {
+			mjobs[i] = telemetry.ManifestJob{
+				Flow:         i + 1,
+				Name:         spec.Label(),
+				Profile:      spec.Profile.Name,
+				IdealNS:      int64(spec.Profile.ComputeTime + bottleneck.TransmissionTime(jobs[i].bytes)),
+				BytesPerIter: jobs[i].bytes,
+			}
+		}
+		rec.SetManifest(newManifest(&s, b.Name(), seed, bottleneck, scale, mjobs))
+	}
+
 	const chunks = 8
 	for c := sim.Time(1); c <= chunks; c++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("backend: packet run aborted: %w", err)
 		}
 		eng.RunUntil(horizon * c / chunks)
+	}
+	if bwMon != nil {
+		bwMon.EmitTo(rec)
 	}
 
 	res := &Result{

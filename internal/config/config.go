@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"mltcp/internal/core"
 	"mltcp/internal/fluid"
@@ -105,6 +106,12 @@ func CCPolicyNames() []string {
 // FluidOnlyPolicyNames returns the fluid-only scheduling policies.
 func FluidOnlyPolicyNames() []string { return []string{"srpt", "pdq", "las", "pias"} }
 
+// PolicyNames returns every accepted policy name — congestion-control
+// schemes, fluid-only disciplines, and "centralized" — in a stable order.
+func PolicyNames() []string {
+	return append(append(CCPolicyNames(), FluidOnlyPolicyNames()...), "centralized")
+}
+
 // Load parses and validates a scenario.
 func Load(r io.Reader) (Scenario, error) {
 	var s Scenario
@@ -154,8 +161,8 @@ func (s *Scenario) validate() error {
 	}
 	if _, cc := ccPolicies[s.Policy]; !cc && !fluidOnlyPolicies[s.Policy] &&
 		s.Policy != "" && s.Policy != "centralized" {
-		return fmt.Errorf("config: unknown policy %q (congestion control: %v; fluid-only: %v; or centralized)",
-			s.Policy, CCPolicyNames(), FluidOnlyPolicyNames())
+		return fmt.Errorf("config: unknown policy %q (valid: %s)",
+			s.Policy, strings.Join(PolicyNames(), ", "))
 	}
 	if s.SlopeIntercept != nil && len(s.SlopeIntercept) != 2 {
 		return fmt.Errorf("config: slope_intercept needs exactly [slope, intercept]")

@@ -3,6 +3,7 @@ package core
 import (
 	"mltcp/internal/sim"
 	"mltcp/internal/tcp"
+	"mltcp/internal/telemetry"
 )
 
 // RatioSource supplies bytes_ratio as ACKs arrive: either a Tracker with
@@ -28,6 +29,9 @@ type MLTCP struct {
 	src  RatioSource
 
 	lastRatio float64
+
+	rec  *telemetry.Recorder
+	flow int
 }
 
 // Wrap builds an MLTCP-augmented version of base. src is the flow's
@@ -66,6 +70,15 @@ func (m *MLTCP) Base() tcp.CongestionControl { return m.base }
 // BytesRatio returns the most recent bytes_ratio (for traces and tests).
 func (m *MLTCP) BytesRatio() float64 { return m.lastRatio }
 
+// Instrument attaches a telemetry recorder: every ACK's aggressiveness
+// evaluation (bytes_ratio, F(bytes_ratio)) is emitted as a rate-limited
+// KindAgg event tagged with the given flow ID. A nil recorder disables
+// emission.
+func (m *MLTCP) Instrument(rec *telemetry.Recorder, flow int) {
+	m.rec = rec
+	m.flow = flow
+}
+
 // OnInit implements tcp.CongestionControl.
 func (m *MLTCP) OnInit(w tcp.Window) { m.base.OnInit(w) }
 
@@ -82,6 +95,9 @@ func (m *MLTCP) OnAck(w tcp.Window, ev tcp.AckEvent) {
 		ratio = 1
 	}
 	m.lastRatio = ratio
+	if m.rec.Enabled() {
+		m.rec.AggEval(ev.Now, m.flow, ratio, m.agg.Eval(ratio))
+	}
 
 	if ev.InSlowStart {
 		m.base.OnAck(w, ev)

@@ -20,6 +20,7 @@ import (
 
 	"mltcp/internal/core"
 	"mltcp/internal/sim"
+	"mltcp/internal/telemetry"
 	"mltcp/internal/units"
 	"mltcp/internal/workload"
 )
@@ -49,6 +50,7 @@ type Job struct {
 	attained      float64 // bytes delivered in the current iteration
 	wakeAt        sim.Time
 	rng           *sim.RNG
+	flow          int // telemetry flow ID (1-based position)
 
 	// CommStarts and CommEnds record each communication phase's
 	// boundaries; IterDurations[i] = CommStarts[i+1] - CommStarts[i].
@@ -134,6 +136,10 @@ type Config struct {
 	// TraceBucket, when positive, records per-job bandwidth into
 	// buckets of this width for plotting.
 	TraceBucket sim.Time
+	// Telemetry receives iteration boundaries and MLTCP weight
+	// evaluations, under the same event schema the packet stack emits.
+	// Jobs are identified by flow ID = 1-based position. Nil disables.
+	Telemetry *telemetry.Recorder
 }
 
 // Sim runs a set of jobs over one bottleneck.
@@ -164,13 +170,14 @@ func New(cfg Config, jobs []*Job) *Sim {
 		panic("fluid: no jobs")
 	}
 	s := &Sim{cfg: cfg, jobs: jobs, trace: make(map[*Job][]float64)}
-	for _, j := range jobs {
+	for i, j := range jobs {
 		if j.Spec.Profile.CommBytes <= 0 || j.Spec.Profile.ComputeTime < 0 {
 			panic(fmt.Sprintf("fluid: job %s has invalid profile %v", j.Spec.Label(), j.Spec.Profile))
 		}
 		j.phase = phaseIdle
 		j.wakeAt = j.Spec.StartOffset
 		j.rng = sim.NewRNG(j.Spec.Seed ^ 0x9e3779b97f4a7c15)
+		j.flow = i + 1
 	}
 	return s
 }
@@ -194,6 +201,14 @@ func (s *Sim) Run(until sim.Time) {
 		}
 
 		rates := s.cfg.Policy.Allocate(s.cfg.Capacity, active)
+		if s.cfg.Telemetry.Enabled() {
+			for _, j := range active {
+				if j.Agg != nil {
+					ratio := j.BytesRatio()
+					s.cfg.Telemetry.AggEval(s.now, j.flow, ratio, j.Agg.Eval(ratio))
+				}
+			}
+		}
 		// Constrain dt so no job overshoots its completion.
 		for i, j := range active {
 			if rates[i] <= 0 {
@@ -235,6 +250,7 @@ func (s *Sim) wakeDueJobs() {
 			j.commRemaining = j.TotalBytes()
 			j.attained = 0
 			j.CommStarts = append(j.CommStarts, s.now)
+			s.cfg.Telemetry.IterStart(s.now, j.flow, len(j.CommStarts)-1)
 			if n := len(j.CommStarts); n >= 2 {
 				j.IterDurations = append(j.IterDurations, j.CommStarts[n-1]-j.CommStarts[n-2])
 			}
@@ -273,6 +289,7 @@ func (s *Sim) nextBoundary(until sim.Time, active []*Job) sim.Time {
 
 func (s *Sim) finishComm(j *Job, at sim.Time) {
 	j.CommEnds = append(j.CommEnds, at)
+	s.cfg.Telemetry.IterEnd(at, j.flow, len(j.CommEnds)-1, at-j.currentCommStart())
 	if j.MaxIterations > 0 && len(j.CommEnds) >= j.MaxIterations {
 		j.phase = phaseDone
 		return
@@ -296,6 +313,27 @@ func (s *Sim) recordTrace(j *Job, t, dt sim.Time, bytes float64) {
 	}
 	tr[idx] += bytes
 	s.trace[j] = tr
+}
+
+// TraceBytes returns the job's recorded per-bucket delivered bytes (empty
+// without TraceBucket).
+func (s *Sim) TraceBytes(j *Job) []float64 { return s.trace[j] }
+
+// EmitTrace replays every job's bandwidth buckets as KindBandwidth events
+// (one per non-empty bucket, timestamped at the bucket's end). Call after
+// Run; telemetry.Write's stable sort interleaves them deterministically.
+func (s *Sim) EmitTrace(rec *telemetry.Recorder) {
+	if !rec.Enabled() || s.cfg.TraceBucket <= 0 {
+		return
+	}
+	for _, j := range s.jobs {
+		for i, b := range s.trace[j] {
+			if b == 0 {
+				continue
+			}
+			rec.Bandwidth(sim.Time(i+1)*s.cfg.TraceBucket, j.flow, s.cfg.TraceBucket, b)
+		}
+	}
 }
 
 // Trace returns the job's recorded bandwidth series in bits per second per

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mltcp/internal/sim"
+	"mltcp/internal/telemetry"
 	"mltcp/internal/units"
 )
 
@@ -44,6 +45,7 @@ type Link struct {
 	lastArrival sim.Time
 	stats       LinkStats
 	taps        []Tap
+	rec         *telemetry.Recorder
 }
 
 // Tap observes every packet the link finishes serializing (before any
@@ -61,7 +63,10 @@ func NewLink(eng *sim.Engine, name string, rate units.Rate, delay sim.Time, queu
 		panic(fmt.Sprintf("netsim: link %s with negative delay", name))
 	}
 	l := &Link{eng: eng, name: name, rate: rate, delay: delay, queue: queue, dst: dst}
-	queue.SetDropCallback(func(*Packet) { l.stats.PacketsDropped++ })
+	queue.SetDropCallback(func(p *Packet) {
+		l.stats.PacketsDropped++
+		l.rec.Drop(l.eng.Now(), l.name, int(p.Flow), l.queue.Bytes())
+	})
 	return l
 }
 
@@ -84,11 +89,20 @@ func (l *Link) Stats() LinkStats { return l.stats }
 // AddTap registers an observer for serialized packets.
 func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
 
+// SetTelemetry attaches a recorder: queue drops and ECN marks on this link
+// are emitted as events (and counted in the recorder's registry). A nil
+// recorder detaches.
+func (l *Link) SetTelemetry(rec *telemetry.Recorder) { l.rec = rec }
+
 // Send implements Receiver so that links can be targets of other components
 // directly; it enqueues the packet and kicks serialization if idle.
 func (l *Link) Send(p *Packet) {
+	wasMarked := p.ECNMarked
 	if !l.queue.Enqueue(p) {
 		return // dropped; counted via the queue's callback
+	}
+	if l.rec.Enabled() && p.ECNMarked && !wasMarked {
+		l.rec.ECNMark(l.eng.Now(), l.name, int(p.Flow), l.queue.Bytes())
 	}
 	if !l.busy {
 		l.startTransmission()

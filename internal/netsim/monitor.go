@@ -2,16 +2,18 @@ package netsim
 
 import (
 	"mltcp/internal/sim"
+	"mltcp/internal/telemetry"
 	"mltcp/internal/units"
 )
 
 // BandwidthMonitor samples a link's transmitted bytes into fixed-width time
 // buckets, per flow and in total. It reproduces the paper's bandwidth-
-// allocation plots (Figures 2, 4, 6).
+// allocation plots (Figures 2, 4, 6). Accumulation is a thin adapter over
+// telemetry.BucketSeries; EmitTo replays the series as trace events.
 type BandwidthMonitor struct {
 	bucket  sim.Time
-	perFlow map[FlowID][]int64
-	total   []int64
+	perFlow map[FlowID]*telemetry.BucketSeries
+	total   *telemetry.BucketSeries
 }
 
 // NewBandwidthMonitor attaches a monitor to the link with the given bucket
@@ -20,25 +22,24 @@ func NewBandwidthMonitor(l *Link, bucket sim.Time) *BandwidthMonitor {
 	if bucket <= 0 {
 		panic("netsim: monitor bucket must be positive")
 	}
-	m := &BandwidthMonitor{bucket: bucket, perFlow: make(map[FlowID][]int64)}
+	m := &BandwidthMonitor{
+		bucket:  bucket,
+		perFlow: make(map[FlowID]*telemetry.BucketSeries),
+		total:   telemetry.NewBucketSeries(bucket),
+	}
 	l.AddTap(func(now sim.Time, p *Packet) {
 		if p.Ack {
 			return // ACK bytes are noise on bandwidth plots
 		}
-		idx := int(now / m.bucket)
-		m.perFlow[p.Flow] = grow(m.perFlow[p.Flow], idx)
-		m.perFlow[p.Flow][idx] += int64(p.WireSize())
-		m.total = grow(m.total, idx)
-		m.total[idx] += int64(p.WireSize())
+		s, ok := m.perFlow[p.Flow]
+		if !ok {
+			s = telemetry.NewBucketSeries(bucket)
+			m.perFlow[p.Flow] = s
+		}
+		s.Add(now, int64(p.WireSize()))
+		m.total.Add(now, int64(p.WireSize()))
 	})
 	return m
-}
-
-func grow(s []int64, idx int) []int64 {
-	for len(s) <= idx {
-		s = append(s, 0)
-	}
-	return s
 }
 
 // Bucket returns the bucket width.
@@ -60,12 +61,15 @@ func (m *BandwidthMonitor) Flows() []FlowID {
 
 // FlowSeries returns the flow's throughput per bucket, in bits per second.
 func (m *BandwidthMonitor) FlowSeries(f FlowID) []units.Rate {
-	return toRates(m.perFlow[f], m.bucket)
+	if s, ok := m.perFlow[f]; ok {
+		return toRates(s.Buckets(), m.bucket)
+	}
+	return nil
 }
 
 // TotalSeries returns the link's total throughput per bucket.
 func (m *BandwidthMonitor) TotalSeries() []units.Rate {
-	return toRates(m.total, m.bucket)
+	return toRates(m.total.Buckets(), m.bucket)
 }
 
 func toRates(bytes []int64, bucket sim.Time) []units.Rate {
@@ -78,9 +82,26 @@ func toRates(bytes []int64, bucket sim.Time) []units.Rate {
 
 // FlowBytes returns the cumulative non-ACK bytes the link carried for f.
 func (m *BandwidthMonitor) FlowBytes(f FlowID) int64 {
-	var sum int64
-	for _, b := range m.perFlow[f] {
-		sum += b
+	if s, ok := m.perFlow[f]; ok {
+		return s.Sum()
 	}
-	return sum
+	return 0
+}
+
+// EmitTo replays the monitor's per-flow buckets as KindBandwidth events
+// (one per non-empty bucket, timestamped at the bucket's end). Call after
+// the run; telemetry.Write's stable sort interleaves them with the live
+// event stream deterministically.
+func (m *BandwidthMonitor) EmitTo(rec *telemetry.Recorder) {
+	if !rec.Enabled() {
+		return
+	}
+	for _, f := range m.Flows() {
+		for i, b := range m.perFlow[f].Buckets() {
+			if b == 0 {
+				continue
+			}
+			rec.Bandwidth(sim.Time(i+1)*m.bucket, int(f), m.bucket, float64(b))
+		}
+	}
 }

@@ -2,10 +2,13 @@ package netsim
 
 import (
 	"mltcp/internal/sim"
+	"mltcp/internal/telemetry"
 )
 
 // QueueMonitor samples a link's queue occupancy at a fixed interval —
 // the instrument behind "DCTCP/Swift keep the queue short" style results.
+// It is a thin adapter over the telemetry sampler: each sample is
+// optionally forwarded to a Recorder as a KindQueue event.
 type QueueMonitor struct {
 	samples []int64
 }
@@ -13,6 +16,13 @@ type QueueMonitor struct {
 // NewQueueMonitor samples the link's queue every interval from `from`
 // until `until` (exclusive).
 func NewQueueMonitor(eng *sim.Engine, l *Link, interval, from, until sim.Time) *QueueMonitor {
+	return NewQueueSampler(eng, l, interval, from, until, nil)
+}
+
+// NewQueueSampler is NewQueueMonitor with a telemetry recorder: every
+// sample is also emitted as a queue-occupancy event on the link (a nil
+// recorder makes it identical to NewQueueMonitor).
+func NewQueueSampler(eng *sim.Engine, l *Link, interval, from, until sim.Time, rec *telemetry.Recorder) *QueueMonitor {
 	if interval <= 0 {
 		panic("netsim: queue monitor interval must be positive")
 	}
@@ -21,8 +31,10 @@ func NewQueueMonitor(eng *sim.Engine, l *Link, interval, from, until sim.Time) *
 	}
 	m := &QueueMonitor{}
 	for ts := from; ts < until; ts += interval {
-		eng.At(ts, func(*sim.Engine) {
-			m.samples = append(m.samples, l.Queue().Bytes())
+		eng.At(ts, func(e *sim.Engine) {
+			q := l.Queue()
+			m.samples = append(m.samples, q.Bytes())
+			rec.QueueSample(e.Now(), l.Name(), q.Bytes(), q.Len())
 		})
 	}
 	return m

@@ -5,6 +5,7 @@ import (
 
 	"mltcp/internal/netsim"
 	"mltcp/internal/sim"
+	"mltcp/internal/telemetry"
 )
 
 // Config tunes a Sender. The zero value is usable: every field has a
@@ -48,6 +49,10 @@ type Config struct {
 	// Band computes the strict-priority band at emission time (PIAS's
 	// MLFQ tag). Nil leaves bands at zero.
 	Band func(s *Sender) int
+	// Trace receives the sender's telemetry: cwnd samples on ACKs,
+	// retransmits, RTO firings, and fast-recovery entries. Nil (the
+	// default) disables emission at near-zero cost.
+	Trace *telemetry.Recorder
 }
 
 func (c *Config) applyDefaults() {
@@ -282,6 +287,7 @@ func (s *Sender) emit(now sim.Time, seq int64, payload int, isRetx bool) {
 	if isRetx {
 		p.SentAt = 0 // Karn: no RTT sample from retransmits
 		s.stats.Retransmits++
+		s.cfg.Trace.Retransmit(now, int(s.flow), seq)
 	}
 	if s.cfg.Prio != nil {
 		p.Prio = s.cfg.Prio(s)
@@ -369,6 +375,7 @@ func (s *Sender) processAdvance(now sim.Time, p *netsim.Packet) {
 	if s.onAck != nil {
 		s.onAck(ev)
 	}
+	s.cfg.Trace.CwndUpdate(now, int(s.flow), s.cwnd, s.ssthresh, s.srtt)
 
 	s.backoff = 0
 	if s.sndUna == s.appLimit {
@@ -396,6 +403,7 @@ func (s *Sender) processDupAck(now sim.Time) {
 		s.inRecovery = true
 		s.recoverSeq = s.sndNxt
 		s.cc.OnPacketLoss(s, now)
+		s.cfg.Trace.FastRecovery(now, int(s.flow), s.ssthresh, s.cwnd)
 		s.recoveryExtra = 3
 		s.retransmitHead(now)
 		s.rtoTimer.Reset(s.rto)
@@ -432,6 +440,7 @@ func (s *Sender) onRTO(e *sim.Engine) {
 	if max := 60 * sim.Second; s.rto > max {
 		s.rto = max
 	}
+	s.cfg.Trace.RTOFired(now, int(s.flow), s.rto, s.cwnd)
 	s.trySend(now)
 	if !s.rtoTimer.Armed() {
 		s.rtoTimer.Reset(s.rto)

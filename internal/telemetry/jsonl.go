@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sort"
+	"strconv"
+
+	"mltcp/internal/sim"
+)
+
+// SchemaVersion is the trace format version, bumped on any incompatible
+// change to the manifest or event encodings (pinned by the golden test).
+const SchemaVersion = 1
+
+// ManifestJob describes one job in the run manifest. Times are integer
+// nanoseconds so trace consumers recompute derived quantities (ideals,
+// interleave scores) exactly, with no float round-tripping.
+type ManifestJob struct {
+	// Flow is the job's flow ID, matching Event.Flow.
+	Flow int `json:"flow"`
+	// Name and Profile label the job and its model shape.
+	Name    string `json:"name"`
+	Profile string `json:"profile,omitempty"`
+	// IdealNS is the isolated iteration time in ns.
+	IdealNS int64 `json:"ideal_ns"`
+	// BytesPerIter is the per-iteration communication volume at the
+	// run's scale.
+	BytesPerIter int64 `json:"bytes_per_iter"`
+}
+
+// Manifest is the run's identity: everything needed to reproduce it and
+// to interpret the event stream. It is the first line of a JSONL trace.
+type Manifest struct {
+	Kind     string `json:"kind"` // always "manifest"
+	Schema   int    `json:"schema"`
+	Scenario string `json:"scenario"`
+	Backend  string `json:"backend"`
+	Policy   string `json:"policy"`
+	Seed     uint64 `json:"seed"`
+	// CapacityGbps is the bottleneck rate at the backend's native scale.
+	CapacityGbps float64 `json:"capacity_gbps"`
+	// Scale is the packet-scale factor applied to the scenario (1 for
+	// fluid).
+	Scale float64 `json:"scale"`
+	// DurationNS is the simulated horizon in ns.
+	DurationNS int64 `json:"duration_ns"`
+	// Revision is the VCS revision of the producing binary, when known.
+	Revision string        `json:"revision,omitempty"`
+	Jobs     []ManifestJob `json:"jobs"`
+}
+
+// Duration returns the simulated horizon.
+func (m *Manifest) Duration() sim.Time { return sim.Time(m.DurationNS) }
+
+// Revision returns the build's VCS revision ("" when the binary carries
+// no build info, e.g. under `go test` without VCS stamping).
+func Revision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
+}
+
+// appendEvent encodes one event as a JSON line (no trailing newline).
+// Encoding is hand-rolled: field order is fixed, floats use the shortest
+// exact representation, and nothing allocates beyond the destination
+// buffer — the properties that make traces byte-identical across runs.
+func appendEvent(b []byte, e Event) ([]byte, error) {
+	name, ok := kindNames[e.Kind]
+	if !ok {
+		return b, fmt.Errorf("telemetry: cannot encode unknown event kind %d", e.Kind)
+	}
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, int64(e.At), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, name...)
+	b = append(b, '"')
+	if e.Flow != 0 {
+		b = append(b, `,"flow":`...)
+		b = strconv.AppendInt(b, int64(e.Flow), 10)
+	}
+	if e.Link != "" {
+		lb, err := json.Marshal(e.Link)
+		if err != nil {
+			return b, err
+		}
+		b = append(b, `,"link":`...)
+		b = append(b, lb...)
+	}
+	appendF := func(b []byte, key string, v float64) []byte {
+		b = append(b, ',', '"')
+		b = append(b, key...)
+		b = append(b, `":`...)
+		return strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+	appendI := func(b []byte, key string, v int64) []byte {
+		b = append(b, ',', '"')
+		b = append(b, key...)
+		b = append(b, `":`...)
+		return strconv.AppendInt(b, v, 10)
+	}
+	switch e.Kind {
+	case KindCwnd:
+		b = appendF(b, "cwnd", e.V0)
+		b = appendF(b, "ssthresh", e.V1)
+		b = appendI(b, "srtt_ns", e.N)
+	case KindRetransmit:
+		b = appendI(b, "seq", e.N)
+	case KindRTO:
+		b = appendI(b, "rto_ns", e.N)
+		b = appendF(b, "cwnd", e.V0)
+	case KindFastRecovery:
+		b = appendF(b, "ssthresh", e.V0)
+		b = appendF(b, "cwnd", e.V1)
+	case KindAgg:
+		b = appendF(b, "ratio", e.V0)
+		b = appendF(b, "factor", e.V1)
+	case KindQueue:
+		b = appendI(b, "bytes", e.N)
+		b = appendI(b, "pkts", e.M)
+	case KindDrop, KindECNMark:
+		b = appendI(b, "bytes", e.N)
+	case KindIterStart:
+		b = appendI(b, "iter", e.N)
+	case KindIterEnd:
+		b = appendI(b, "iter", e.N)
+		b = appendI(b, "comm_ns", e.M)
+	case KindBandwidth:
+		b = appendI(b, "bucket_ns", e.M)
+		b = appendF(b, "bytes", e.V0)
+	}
+	return append(b, '}'), nil
+}
+
+// wireEvent is the decode-side union of every event kind's fields.
+type wireEvent struct {
+	T        int64   `json:"t"`
+	Kind     string  `json:"kind"`
+	Flow     int     `json:"flow"`
+	Link     string  `json:"link"`
+	Cwnd     float64 `json:"cwnd"`
+	Ssthresh float64 `json:"ssthresh"`
+	SrttNS   int64   `json:"srtt_ns"`
+	Seq      int64   `json:"seq"`
+	RTONS    int64   `json:"rto_ns"`
+	Ratio    float64 `json:"ratio"`
+	Factor   float64 `json:"factor"`
+	Bytes    float64 `json:"bytes"`
+	Pkts     int64   `json:"pkts"`
+	Iter     int64   `json:"iter"`
+	CommNS   int64   `json:"comm_ns"`
+	BucketNS int64   `json:"bucket_ns"`
+}
+
+func (w wireEvent) event() (Event, error) {
+	k, ok := kindByName[w.Kind]
+	if !ok {
+		return Event{}, fmt.Errorf("telemetry: unknown event kind %q", w.Kind)
+	}
+	e := Event{At: sim.Time(w.T), Kind: k, Flow: w.Flow, Link: w.Link}
+	switch k {
+	case KindCwnd:
+		e.V0, e.V1, e.N = w.Cwnd, w.Ssthresh, w.SrttNS
+	case KindRetransmit:
+		e.N = w.Seq
+	case KindRTO:
+		e.N, e.V0 = w.RTONS, w.Cwnd
+	case KindFastRecovery:
+		e.V0, e.V1 = w.Ssthresh, w.Cwnd
+	case KindAgg:
+		e.V0, e.V1 = w.Ratio, w.Factor
+	case KindQueue:
+		e.N, e.M = int64(w.Bytes), w.Pkts
+	case KindDrop, KindECNMark:
+		e.N = int64(w.Bytes)
+	case KindIterStart:
+		e.N = w.Iter
+	case KindIterEnd:
+		e.N, e.M = w.Iter, w.CommNS
+	case KindBandwidth:
+		e.M, e.V0 = w.BucketNS, w.Bytes
+	}
+	return e, nil
+}
+
+// Write serializes a trace as JSONL: the manifest line (when m is
+// non-nil), every event stably sorted by time, then a closing metrics
+// line (when reg is non-nil). Events equal in time keep their emission
+// order, so output is a pure function of the run.
+func Write(w io.Writer, m *Manifest, events []Event, reg *Registry) error {
+	bw := bufio.NewWriter(w)
+	if m != nil {
+		mc := *m
+		mc.Kind = "manifest"
+		if mc.Schema == 0 {
+			mc.Schema = SchemaVersion
+		}
+		line, err := json.Marshal(&mc)
+		if err != nil {
+			return err
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	var buf []byte
+	for _, e := range sorted {
+		var err error
+		buf, err = appendEvent(buf[:0], e)
+		if err != nil {
+			return err
+		}
+		bw.Write(buf)
+		bw.WriteByte('\n')
+	}
+	if reg != nil {
+		line, err := json.Marshal(struct {
+			Kind string `json:"kind"`
+			*Snapshot
+		}{"metrics", reg.Snapshot()})
+		if err != nil {
+			return err
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Trace is a decoded JSONL trace.
+type Trace struct {
+	Manifest *Manifest
+	Events   []Event
+	Metrics  *Snapshot
+}
+
+// Read decodes a JSONL trace written by Write. Manifest and metrics
+// lines are optional; unknown event kinds are an error (the schema is
+// versioned, not open-ended).
+func Read(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+		}
+		switch probe.Kind {
+		case "manifest":
+			m := &Manifest{}
+			if err := json.Unmarshal(line, m); err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+			}
+			tr.Manifest = m
+		case "metrics":
+			s := &Snapshot{}
+			if err := json.Unmarshal(line, s); err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+			}
+			tr.Metrics = s
+		default:
+			var w wireEvent
+			if err := json.Unmarshal(line, &w); err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+			}
+			e, err := w.event()
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+			}
+			tr.Events = append(tr.Events, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mltcp/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the schema golden file")
+
+// TestSchemaGolden pins the JSONL wire format: the manifest field set, every
+// event kind's name and payload fields, and the metrics line. A diff here
+// means the trace schema changed — bump SchemaVersion and regenerate with
+// `go test ./internal/telemetry -run TestSchemaGolden -update` only when the
+// break is intentional (downstream trace consumers parse this format).
+func TestSchemaGolden(t *testing.T) {
+	m := &Manifest{
+		Scenario: "golden", Backend: "packet", Policy: "mltcp", Seed: 1,
+		CapacityGbps: 0.5, Scale: 0.01, DurationNS: int64(20 * sim.Second),
+		Jobs: []ManifestJob{
+			{Flow: 1, Name: "J1(gpt2)", Profile: "gpt2", IdealNS: 1800000000, BytesPerIter: 12500000},
+			{Flow: 2, Name: "J2(gpt2)", Profile: "gpt2", IdealNS: 1800000000, BytesPerIter: 12500000},
+		},
+	}
+	reg := NewRegistry()
+	reg.Counter("tcp.retransmits").Add(2)
+	reg.Counter("net.drops").Inc()
+	reg.Gauge("example.gauge").Set(0.375)
+	reg.Histogram("net.queue_bytes", []float64{1500, 15000}).Observe(3000)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, m, allKindsEvents(), reg); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "schema.golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace schema drifted from golden file.\n got:\n%s\nwant:\n%s\n"+
+			"If intentional, bump SchemaVersion and rerun with -update.",
+			buf.Bytes(), want)
+	}
+}

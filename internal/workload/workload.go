@@ -75,6 +75,12 @@ func Profiles() map[string]Profile {
 	return out
 }
 
+// Names returns the built-in profile names in declaration order (for
+// error messages and usage strings).
+func Names() []string {
+	return []string{GPT3.Name, GPT2.Name, BERT.Name, ResNet50.Name, VGG16.Name, DLRM.Name}
+}
+
 // Scale returns a copy of p with both compute time and bytes multiplied by
 // k, preserving a and T's ratio structure at a different absolute scale.
 func (p Profile) Scale(k float64) Profile {
