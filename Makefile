@@ -1,0 +1,32 @@
+# Developer entry points. Everything here is plain `go` tooling; the
+# only non-standard piece is cmd/mltcp-lint, the repo's own analyzer
+# suite (see docs/EXTENDING.md §7).
+
+GO ?= go
+
+.PHONY: build test race lint vet-lint clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One-shot static analysis: the four mltcp analyzers over the module.
+# Exits non-zero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/mltcp-lint ./...
+
+# The same suite driven through `go vet`, sharing vet's per-package
+# caching — faster on incremental runs, and exactly what CI executes.
+vet-lint: bin/mltcp-lint
+	$(GO) vet -vettool=bin/mltcp-lint ./...
+
+bin/mltcp-lint: $(wildcard internal/lint/*.go) $(wildcard cmd/mltcp-lint/*.go) go.mod
+	$(GO) build -o $@ ./cmd/mltcp-lint
+
+clean:
+	rm -rf bin

@@ -1,0 +1,71 @@
+// Command mltcp-lint runs the repo's custom static-analysis suite
+// (internal/lint): simdeterminism, simunits, telemetryemit, and
+// registryname — the invariants behind the byte-identical-replay
+// contract that generic linters cannot see.
+//
+// Standalone:
+//
+//	mltcp-lint ./...
+//	mltcp-lint -list
+//
+// As a vet tool (shares go vet's caching and package graph):
+//
+//	go build -o bin/mltcp-lint ./cmd/mltcp-lint
+//	go vet -vettool=bin/mltcp-lint ./...
+//
+// Findings are suppressed line by line with a justified marker:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// Exit status: 0 clean, 1 driver error, 2+ findings (vet convention).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mltcp/internal/lint"
+)
+
+func main() {
+	// `go vet` speaks its own protocol: a -V=full version query or a
+	// single pkg.cfg argument. Detect it before flag parsing so the
+	// standalone flags don't interfere.
+	if args := os.Args[1:]; lint.VettoolArgs(args) {
+		os.Exit(lint.VettoolMain("mltcp-lint", args, lint.Analyzers(), os.Stdout, os.Stderr))
+	}
+
+	listFlag := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: mltcp-lint [-list] packages...\n       go vet -vettool=$(command -v mltcp-lint) packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%s\n\t%s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	diags, err := lint.Run("", patterns, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mltcp-lint: %d finding(s)\n", len(diags))
+		os.Exit(2)
+	}
+}

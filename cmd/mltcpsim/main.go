@@ -30,6 +30,7 @@ import (
 	"mltcp/internal/sim"
 	"mltcp/internal/telemetry"
 	"mltcp/internal/trace"
+	"mltcp/internal/units"
 	"mltcp/internal/workload"
 )
 
@@ -106,7 +107,7 @@ func scenarioFromFlags(jobs, policy string, gbps float64,
 	if err != nil {
 		return nil, err
 	}
-	staggerMS := float64(stagger) / float64(time.Millisecond)
+	staggerMS := units.DurationMS(stagger)
 	scn := &config.Scenario{
 		Name:         "cli",
 		Policy:       policy,
@@ -118,7 +119,7 @@ func scenarioFromFlags(jobs, policy string, gbps float64,
 		scn.Jobs = append(scn.Jobs, config.Job{
 			Name:    fmt.Sprintf("J%d(%s)", i+1, p.Name),
 			Profile: p.Name,
-			NoiseMS: float64(noise) / float64(time.Millisecond),
+			NoiseMS: units.DurationMS(noise),
 		})
 	}
 	if err := scn.Normalize(); err != nil {
@@ -208,7 +209,7 @@ func runOnce(b backend.Backend, scn *config.Scenario) error {
 // printChart renders the fluid bandwidth trace (the packet backend has no
 // bandwidth trace; its window dynamics are in JobResult.CwndTrace).
 func printChart(res *backend.Result) {
-	if res.Backend != "fluid" {
+	if res.Backend != backend.NameFluid {
 		fmt.Fprintln(os.Stderr, "note: -chart renders fluid bandwidth traces; not available at -level packet")
 		return
 	}

@@ -88,10 +88,12 @@ func (p Params) Shift(delta sim.Time) sim.Time {
 func (p Params) Loss(delta sim.Time) float64 {
 	p.validate()
 	const steps = 2000
-	d := delta.Seconds()
-	if d == 0 {
+	// Test the integer nanosecond count, not its float image: Δ=0 is an
+	// exact integer fact and should not depend on float conversion.
+	if delta == 0 {
 		return 0
 	}
+	d := delta.Seconds()
 	// Simpson's rule over [0, d].
 	h := d / steps
 	sum := p.shiftSec(0) + p.shiftSec(d)

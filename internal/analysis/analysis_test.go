@@ -255,3 +255,33 @@ func TestLossClosedFormBoundaryValues(t *testing.T) {
 		t.Errorf("plateau %v != sampled min %v", plateau, min)
 	}
 }
+
+func TestLossZeroDeltaExact(t *testing.T) {
+	t.Parallel()
+	// Loss(0) must be exactly 0 via the integer-nanosecond test, not a
+	// float comparison on the converted value: the zero branch is an
+	// exact integer fact about Δ.
+	for _, alpha := range []float64{1.0 / 6, 0.5, 0.9} {
+		p := params(alpha)
+		if got := p.Loss(0); got != 0 {
+			t.Errorf("alpha=%v: Loss(0) = %v, want exactly 0", alpha, got)
+		}
+	}
+	// The smallest representable positive Δ takes the integration path
+	// and stays finite — the zero guard is a special case, not a crutch.
+	p := params(0.5)
+	got := p.Loss(1)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("Loss(1ns) = %v, want finite", got)
+	}
+}
+
+func TestLossContinuousNearZero(t *testing.T) {
+	t.Parallel()
+	// Loss is continuous at Δ→0: the dedicated zero branch must agree
+	// with the limit of the integral branch.
+	p := params(0.5)
+	if got := p.Loss(sim.FromSeconds(1e-9)); math.Abs(got) > 1e-6 {
+		t.Errorf("Loss(1ns) = %v, want ≈ Loss(0) = 0", got)
+	}
+}

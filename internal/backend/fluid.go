@@ -22,7 +22,7 @@ type Fluid struct {
 }
 
 // Name implements Backend.
-func (*Fluid) Name() string { return "fluid" }
+func (*Fluid) Name() string { return NameFluid }
 
 // Run implements Backend.
 func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Result, error) {

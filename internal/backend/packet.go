@@ -30,7 +30,7 @@ type Packet struct {
 }
 
 // Name implements Backend.
-func (*Packet) Name() string { return "packet" }
+func (*Packet) Name() string { return NamePacket }
 
 // Packet-level topology constants, matching the paper's 1/100-scale
 // testbed rendering used throughout internal/experiments.

@@ -10,15 +10,23 @@ import (
 	"mltcp/internal/units"
 )
 
+// Exported backend names — the single source of truth for name dispatch.
+// Compare against these constants (or iterate Names) instead of
+// hand-writing the strings.
+const (
+	NameFluid  = "fluid"
+	NamePacket = "packet"
+)
+
 // Names returns the backend names New accepts, in presentation order.
-func Names() []string { return []string{"fluid", "packet"} }
+func Names() []string { return []string{NameFluid, NamePacket} }
 
 // New builds a backend by name; unknown names list the valid set.
 func New(name string) (Backend, error) {
 	switch name {
-	case "fluid":
+	case NameFluid:
 		return &Fluid{}, nil
-	case "packet":
+	case NamePacket:
 		return &Packet{}, nil
 	}
 	return nil, fmt.Errorf("backend: unknown backend %q (valid: %s)",

@@ -142,7 +142,7 @@ func ScaledGPT2() workload.Profile {
 // a tight schedule out of alignment and only MLTCP restores it.
 func TightProfile(duty float64) workload.Profile {
 	period := 1800 * sim.Millisecond
-	comm := sim.Time(float64(period) * duty)
+	comm := period.Scale(duty)
 	return workload.Profile{
 		Name:        "tight",
 		ComputeTime: period - comm,

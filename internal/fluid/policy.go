@@ -77,7 +77,7 @@ func (SRPT) Allocate(capacity units.Rate, active []*Job) []units.Rate {
 }
 
 func better(a, b *Job) bool {
-	if a.Remaining() != b.Remaining() {
+	if a.Remaining() != b.Remaining() { //lint:allow simunits exact tie-break keeps the comparator a strict weak order; a tolerance would break sort transitivity
 		return a.Remaining() < b.Remaining()
 	}
 	return a.currentCommStart() < b.currentCommStart()

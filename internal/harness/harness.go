@@ -154,7 +154,7 @@ func runPoint[T any](ctx context.Context, cfg Config, i int, fn Scenario[T]) Res
 		defer cancel()
 	}
 
-	start := time.Now()
+	start := time.Now() //lint:allow simdeterminism Elapsed measures real wall time of the point, not simulated time
 	done := make(chan Result[T], 1)
 	go func() {
 		r := Result[T]{Index: i}
@@ -181,7 +181,7 @@ func runPoint[T any](ctx context.Context, cfg Config, i int, fn Scenario[T]) Res
 		res = <-done
 	}
 	res.Index = i
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //lint:allow simdeterminism Elapsed is a wall-clock runtime report, outside the simulated timeline
 	return res
 }
 

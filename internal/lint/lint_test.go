@@ -1,0 +1,148 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"mltcp/internal/lint"
+	"mltcp/internal/lint/linttest"
+)
+
+// The fixture tests run each analyzer through the full pipeline —
+// type-checking against real export data, AppliesTo scoping under an
+// impersonated package path, //lint:allow suppression — and require the
+// diagnostics to match the fixtures' `// want` expectations exactly.
+// Each fixture contains at least one violation, so these tests fail if
+// an analyzer stops firing.
+
+func TestSimDeterminismFixture(t *testing.T) {
+	linttest.Run(t, lint.SimDeterminism, "mltcp/internal/tcp",
+		"testdata/simdeterminism/fixture.go")
+}
+
+func TestSimUnitsFixture(t *testing.T) {
+	linttest.Run(t, lint.SimUnits, "mltcp/internal/fixture",
+		"testdata/simunits/fixture.go")
+}
+
+func TestTelemetryEmitGuardFixture(t *testing.T) {
+	linttest.Run(t, lint.TelemetryEmit, "mltcp/internal/telemetry",
+		"testdata/telemetryemit/guard.go")
+}
+
+func TestTelemetryEmitCallSiteFixture(t *testing.T) {
+	linttest.Run(t, lint.TelemetryEmit, "mltcp/internal/fixture",
+		"testdata/telemetryemit/emit.go")
+}
+
+func TestRegistryNameFixture(t *testing.T) {
+	linttest.Run(t, lint.RegistryName, "mltcp/cmd/fixture",
+		"testdata/registryname/fixture.go")
+}
+
+// TestScoping pins each analyzer's package-path scope: simulation rules
+// stay out of cmd/*, the conversion-defining packages stay exempt, and
+// registry-name checks never fire inside internal/*.
+func TestScoping(t *testing.T) {
+	cases := []struct {
+		a    *lint.Analyzer
+		path string
+		want bool
+	}{
+		{lint.SimDeterminism, "mltcp/internal/tcp", true},
+		{lint.SimDeterminism, "mltcp/cmd/mltcpsim", false},
+		{lint.SimUnits, "mltcp/internal/fluid", true},
+		{lint.SimUnits, "mltcp/cmd/mltcpsim", true},
+		{lint.SimUnits, "mltcp/internal/sim", false},
+		{lint.SimUnits, "mltcp/internal/units", false},
+		{lint.TelemetryEmit, "mltcp/internal/backend", true},
+		{lint.RegistryName, "mltcp/cmd/mltcp-trace", true},
+		{lint.RegistryName, "mltcp/internal/backend", false},
+	}
+	for _, c := range cases {
+		if got := c.a.AppliesTo(c.path); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.a.Name, c.path, got, c.want)
+		}
+	}
+}
+
+// TestRepositoryClean is the integration gate: the full suite over the
+// entire module must report zero unsuppressed diagnostics. Inserting a
+// time.Now() into internal/tcp (or any other violation) fails this test
+// before it fails CI.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	diags, err := lint.Run("", []string{"mltcp/..."}, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+}
+
+// TestVettoolProtocol exercises the `go vet -vettool` integration end to
+// end: build the multichecker, then let go vet drive it over a real
+// package through the unitchecker protocol (version query, .cfg files,
+// facts plumbing).
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool binary")
+	}
+	bin := filepath.Join(t.TempDir(), "mltcp-lint")
+	build := exec.Command("go", "build", "-o", bin, "mltcp/cmd/mltcp-lint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vettool: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "mltcp/internal/sim", "mltcp/internal/tcp")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean packages: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolArgs pins the protocol detection that routes go vet's
+// invocations away from the standalone flag parser.
+func TestVettoolArgs(t *testing.T) {
+	cases := []struct {
+		args []string
+		want bool
+	}{
+		{[]string{"-V=full"}, true},
+		{[]string{"-flags"}, true},
+		{[]string{"/tmp/pkg.cfg"}, true},
+		{[]string{"./..."}, false},
+		{[]string{"-list"}, false},
+		{[]string{}, false},
+		{[]string{"/tmp/a.cfg", "/tmp/b.cfg"}, false},
+	}
+	for _, c := range cases {
+		if got := lint.VettoolArgs(c.args); got != c.want {
+			t.Errorf("VettoolArgs(%v) = %v, want %v", c.args, got, c.want)
+		}
+	}
+}
+
+// TestStandaloneRunScoped runs the standalone driver over one small
+// clean package as a smoke test of the go list + export-data loader.
+func TestStandaloneRunScoped(t *testing.T) {
+	diags, err := lint.Run("", []string{"mltcp/internal/units"}, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("internal/units should be clean, got %v", diags)
+	}
+}
+
+// TestMain keeps fixture paths stable regardless of where the test
+// binary runs from.
+func TestMain(m *testing.M) {
+	if _, err := os.Stat("testdata"); err != nil {
+		panic("lint tests must run from the internal/lint package directory")
+	}
+	os.Exit(m.Run())
+}

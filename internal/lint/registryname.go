@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/config"
+	"mltcp/internal/workload"
+)
+
+// RegistryName keeps CLI name dispatch sourced from the shared
+// registries. The analyzer imports the registries themselves —
+// backend.Names, config.PolicyNames, workload.Names — so the flagged set
+// is always the live one: a name added to a registry is instantly
+// protected without touching the linter.
+var RegistryName = &Analyzer{
+	Name: "registryname",
+	Doc: `forbid hand-written registry names in cmd/*
+
+Backend, policy, and workload-profile names have one source of truth:
+the registries in internal/backend, internal/config, and
+internal/workload. A cmd/* switch or comparison against a hand-written
+copy of one of those strings silently diverges when the registry grows
+or renames. Compare against the exported constant (backend.NameFluid,
+...) or iterate the registry instead.`,
+	AppliesTo: func(path string) bool { return strings.HasPrefix(path, "mltcp/cmd/") },
+	Run:       runRegistryName,
+}
+
+// registryNames is the live union of every registry-managed name.
+var registryNames = func() map[string]bool {
+	set := make(map[string]bool)
+	for _, names := range [][]string{backend.Names(), config.PolicyNames(), workload.Names()} {
+		for _, n := range names {
+			set[n] = true
+		}
+	}
+	return set
+}()
+
+func runRegistryName(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CaseClause:
+				for _, e := range n.List {
+					checkNameLiteral(pass, e, "case clause")
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkNameLiteral(pass, n.X, "comparison")
+					checkNameLiteral(pass, n.Y, "comparison")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkNameLiteral(pass *Pass, e ast.Expr, context string) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	val, err := strconv.Unquote(lit.Value)
+	if err != nil || !registryNames[val] {
+		return
+	}
+	pass.Reportf(lit.Pos(),
+		"registry name %q hand-written in a %s; source it from the shared registry (backend.Names/config.PolicyNames/workload.Names) or its exported constant", val, context)
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SimDeterminism enforces the repo's byte-identical-replay contract in
+// simulation code: no wall clock, no global (shared, unseeded) random
+// source, and no map-iteration order leaking into ordered output.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc: `forbid nondeterminism sources in simulation packages
+
+Simulation code must be a pure function of (scenario, seed): time.Now and
+time.Since read the wall clock; the global math/rand functions draw from a
+process-wide source shared across goroutines; and ranging over a map while
+appending values, building strings, or encoding emits results in a
+different order every run. Use the engine clock (sim.Engine.Now), RNG
+streams derived from the run seed (sim.NewRNG / sim.DeriveSeed), and
+sorted-key iteration. Collecting just the keys of a map into a slice is
+allowed — that is the first half of the sorted-iteration idiom.`,
+	AppliesTo: func(path string) bool { return strings.HasPrefix(path, "mltcp/internal/") },
+	Run:       runSimDeterminism,
+}
+
+// randConstructors are the math/rand package functions that build a
+// private generator rather than touching the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runSimDeterminism(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWallClock(pass, n)
+				checkGlobalRand(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkWallClock(pass *Pass, call *ast.CallExpr) {
+	name, ok := isPkgFunc(pass.TypesInfo, call, "time")
+	if !ok {
+		return
+	}
+	if name == "Now" || name == "Since" {
+		pass.Reportf(call.Pos(),
+			"time.%s reads the wall clock; simulation code must use the engine clock (sim.Engine.Now)", name)
+	}
+}
+
+func checkGlobalRand(pass *Pass, call *ast.CallExpr) {
+	for _, path := range []string{"math/rand", "math/rand/v2"} {
+		name, ok := isPkgFunc(pass.TypesInfo, call, path)
+		if !ok || randConstructors[name] {
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"global %s.%s draws from a shared unseeded source; derive a per-run stream with sim.NewRNG/sim.DeriveSeed", "rand", name)
+	}
+}
+
+// checkMapRange flags map-range loops whose body performs an
+// order-dependent write: appending anything but the bare key to a slice,
+// assigning through a slice index, writing to a builder/buffer/encoder,
+// or printing. Map-to-map copies and key collection stay legal.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var keyObj types.Object
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyObj = pass.TypesInfo.Defs[id]
+		if keyObj == nil {
+			keyObj = pass.TypesInfo.Uses[id]
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if reason := orderedWrite(pass, n, keyObj); reason != "" {
+				pass.Reportf(rs.Pos(),
+					"map iteration order leaks into %s; iterate over sorted keys", reason)
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if bt, ok := pass.TypesInfo.Types[ix.X]; ok {
+					if _, isSlice := bt.Type.Underlying().(*types.Slice); isSlice {
+						pass.Reportf(rs.Pos(),
+							"map iteration order leaks into a slice-index write; iterate over sorted keys")
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// orderedWrite classifies a call inside a map-range body, returning a
+// description of the order-dependent write it performs ("" when benign).
+func orderedWrite(pass *Pass, call *ast.CallExpr, keyObj types.Object) string {
+	// append(dst, elems...): benign only when every element is the
+	// range key itself (key collection for later sorting).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+			if call.Ellipsis.IsValid() {
+				return "an append"
+			}
+			for _, arg := range call.Args[1:] {
+				argID, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok || keyObj == nil || pass.TypesInfo.Uses[argID] != keyObj {
+					return "an append"
+				}
+			}
+			return ""
+		}
+	}
+	if f := funcObj(pass.TypesInfo, call); f != nil {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if strings.HasPrefix(f.Name(), "Write") || strings.HasPrefix(f.Name(), "Encode") {
+				return "a " + f.Name() + " call"
+			}
+		}
+		if f.Pkg() != nil && f.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(f.Name(), "Print") || strings.HasPrefix(f.Name(), "Fprint")) {
+			return "fmt." + f.Name()
+		}
+	}
+	return ""
+}

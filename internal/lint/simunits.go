@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SimUnits enforces the integer-nanosecond time discipline: durations
+// (sim.Time, time.Duration) cross into float seconds only through the
+// canonical helpers in internal/sim and internal/units, never via ad-hoc
+// float64(d) / Duration(f) conversions or truncating duration÷duration
+// division; and scoring code never compares floats for exact equality.
+var SimUnits = &Analyzer{
+	Name: "simunits",
+	Doc: `enforce integer-nanosecond unit discipline
+
+sim.Time and time.Duration are integer nanoseconds by contract; the trace
+schema, the engine clock, and the golden tests all depend on it. Ad-hoc
+float64(d) conversions, Duration-from-float constructions, and
+duration÷duration divisions silently change rounding behavior between
+call sites. Convert through sim.Time.Seconds / sim.FromSeconds /
+sim.Time.Scale (internal/sim and internal/units are the exempt defining
+packages). Exact float equality in scoring code is flagged because two
+mathematically equal scores can differ in the last ulp.`,
+	AppliesTo: func(path string) bool {
+		if path == "mltcp/internal/sim" || path == "mltcp/internal/units" {
+			return false // the packages that define the conversions
+		}
+		return strings.HasPrefix(path, "mltcp/internal/") || strings.HasPrefix(path, "mltcp/cmd/")
+	},
+	Run: runSimUnits,
+}
+
+// isDurationType reports whether t is one of the integer-nanosecond
+// duration types.
+func isDurationType(t types.Type) bool {
+	pkg, name, ok := namedType(t)
+	if !ok {
+		return false
+	}
+	return (pkg == "time" && name == "Duration") ||
+		(pkg == "mltcp/internal/sim" && name == "Time")
+}
+
+func runSimUnits(pass *Pass) error {
+	for _, file := range pass.Files {
+		// int(d1/d2) is the explicit "this quotient is a count"
+		// annotation (bucket indexing, loop bounds); collect those
+		// divisions before flagging. Preorder traversal visits the
+		// conversion before the division it wraps.
+		countedQuo := make(map[ast.Node]bool)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkUnitConversion(pass, n)
+				if target, ok := isConversion(pass.TypesInfo, n); ok &&
+					isIntegerKind(target) && !isDurationType(target) {
+					if q, ok := ast.Unparen(n.Args[0]).(*ast.BinaryExpr); ok && q.Op == token.QUO {
+						countedQuo[q] = true
+					}
+				}
+			case *ast.BinaryExpr:
+				if !countedQuo[n] {
+					checkDurationDivision(pass, n)
+				}
+				checkFloatEquality(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isIntegerKind reports whether t's underlying type is an integer.
+func isIntegerKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func checkUnitConversion(pass *Pass, call *ast.CallExpr) {
+	target, ok := isConversion(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	opTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	switch {
+	case isFloat(target) && isDurationType(opTV.Type):
+		pass.Reportf(call.Pos(),
+			"float64(duration) bypasses the canonical conversion; use .Seconds() (or keep integer ns)")
+	case isDurationType(target) && isFloat(opTV.Type):
+		pass.Reportf(call.Pos(),
+			"duration built from a float; use sim.FromSeconds for seconds or sim.Time.Scale/Div for scaling")
+	}
+}
+
+// checkDurationDivision flags duration ÷ duration, which truncates to a
+// dimensionless count. Dividing by an untyped constant, a literal, or an
+// explicit conversion from an integer expression is scalar division and
+// stays legal.
+func checkDurationDivision(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.QUO {
+		return
+	}
+	xt, okX := pass.TypesInfo.Types[b.X]
+	yt, okY := pass.TypesInfo.Types[b.Y]
+	if !okX || !okY || !isDurationType(xt.Type) || !isDurationType(yt.Type) {
+		return
+	}
+	y := ast.Unparen(b.Y)
+	if yt.Value != nil {
+		// A constant denominator is scalar division (d / 4) unless it
+		// references a declared duration constant (d / sim.Second),
+		// which is the classic silent unit truncation.
+		if !mentionsDurationConst(pass.TypesInfo, y) {
+			return
+		}
+	} else if conv, ok := y.(*ast.CallExpr); ok {
+		if target, isConv := isConversion(pass.TypesInfo, conv); isConv && isDurationType(target) {
+			if opTV, ok := pass.TypesInfo.Types[conv.Args[0]]; ok && !isDurationType(opTV.Type) && !isFloat(opTV.Type) {
+				return // duration / duration(int) is explicit scalar division
+			}
+		}
+	}
+	pass.Reportf(b.OpPos,
+		"duration ÷ duration truncates to a dimensionless count; compare .Seconds() values or annotate intentional integer division")
+}
+
+// mentionsDurationConst reports whether any identifier in e resolves to
+// a constant whose declared type is a duration (sim.Second,
+// time.Millisecond, ...), as opposed to an untyped numeric constant.
+func mentionsDurationConst(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if c, ok := info.Uses[id].(*types.Const); ok && isDurationType(c.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isZeroConst reports whether tv is a numeric constant equal to zero.
+func isZeroConst(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+func checkFloatEquality(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	xt, okX := pass.TypesInfo.Types[b.X]
+	yt, okY := pass.TypesInfo.Types[b.Y]
+	if !okX || !okY || !isFloat(xt.Type) || !isFloat(yt.Type) {
+		return
+	}
+	// Comparing against a constant zero is the exact-by-construction
+	// sentinel/division-guard idiom (unset config fields, empty
+	// accumulators); it stays legal.
+	if isZeroConst(xt) || isZeroConst(yt) {
+		return
+	}
+	// x != x is the NaN test; leave it alone.
+	if xid, ok := ast.Unparen(b.X).(*ast.Ident); ok {
+		if yid, ok := ast.Unparen(b.Y).(*ast.Ident); ok && xid.Name == yid.Name {
+			return
+		}
+	}
+	pass.Reportf(b.OpPos,
+		"exact float comparison; scores that are mathematically equal can differ in the last ulp — compare with a tolerance or restructure to integer units")
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestSuppressionCoversMarkerLineAndNext(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+//lint:allow simunits reason one
+var a = 1
+
+var b = 2 //lint:allow simdeterminism reason two
+`)
+	allowed, malformed := suppressions(fset, files)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed markers: %v", malformed)
+	}
+	for _, want := range []allowKey{
+		{"x.go", 3, "simunits"},       // the marker's own line
+		{"x.go", 4, "simunits"},       // the line below (standalone marker)
+		{"x.go", 6, "simdeterminism"}, // trailing marker on the offending line
+	} {
+		if !allowed[want] {
+			t.Errorf("missing suppression %+v", want)
+		}
+	}
+	if allowed[allowKey{"x.go", 4, "simdeterminism"}] {
+		t.Error("suppression leaked across analyzers")
+	}
+	if allowed[allowKey{"x.go", 5, "simunits"}] {
+		t.Error("suppression extends past one line below the marker")
+	}
+}
+
+func TestSuppressionWithoutReasonIsMalformed(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+//lint:allow simunits
+var a = 1
+
+//lint:allow
+var b = 2
+`)
+	allowed, malformed := suppressions(fset, files)
+	if len(allowed) != 0 {
+		t.Errorf("malformed markers must not suppress anything, got %v", allowed)
+	}
+	if len(malformed) != 2 {
+		t.Fatalf("want 2 malformed diagnostics, got %v", malformed)
+	}
+	for _, d := range malformed {
+		if d.Analyzer != "lint" || !strings.Contains(d.Message, "malformed") {
+			t.Errorf("unexpected malformed diagnostic: %s", d)
+		}
+	}
+}
+
+// TestAnalyzeDropsTestFileFindings pins the rule that the invariants
+// govern simulation code, not its tests.
+func TestAnalyzeDropsTestFileFindings(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "pkg_test.go", `package p
+func f() {}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportAll := &Analyzer{
+		Name: "reportall",
+		Run: func(pass *Pass) error {
+			for _, file := range pass.Files {
+				pass.Reportf(file.Pos(), "finding")
+			}
+			return nil
+		},
+	}
+	pkg, info, _, err := Check(fset, nil, "mltcp/internal/p", []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Analyze(fset, []*ast.File{f}, pkg, info, []*Analyzer{reportAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("findings in _test.go files must be dropped, got %v", diags)
+	}
+}
+
+// TestAnalyzeStripsTestVariantPath pins the handling of go vet's
+// "path [path.test]" package variants: scope decisions use the base path.
+func TestAnalyzeStripsTestVariantPath(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "pkg.go", `package p
+func f() {}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawPath string
+	scoped := &Analyzer{
+		Name:      "scoped",
+		AppliesTo: func(path string) bool { sawPath = path; return true },
+		Run:       func(*Pass) error { return nil },
+	}
+	pkg, info, _, err := Check(fset, nil, "mltcp/internal/p [mltcp/internal/p.test]", []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(fset, []*ast.File{f}, pkg, info, []*Analyzer{scoped}); err != nil {
+		t.Fatal(err)
+	}
+	if sawPath != "mltcp/internal/p" {
+		t.Errorf("AppliesTo saw %q, want the stripped base path", sawPath)
+	}
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const telemetryPath = "mltcp/internal/telemetry"
+
+// TelemetryEmit enforces the telemetry subsystem's two emission
+// contracts: inside internal/telemetry, every exported *Recorder method
+// opens with the nil-receiver fast path (a nil *Recorder is the
+// documented disabled state, so an unguarded method is a latent panic in
+// every untraced run); and at every call site, values fed into the
+// schema's integer-nanosecond fields must not be derived from floats
+// (no float64(t)*1e9-style timestamps — the trace format's byte
+// determinism depends on exact integer arithmetic).
+var TelemetryEmit = &Analyzer{
+	Name: "telemetryemit",
+	Doc: `enforce telemetry emission hygiene
+
+A nil *telemetry.Recorder must stay a near-free no-op: exported Recorder
+methods start with "if r == nil { return ... }". Emission arguments must
+keep the schema integral: converting a float expression into sim.Time,
+time.Duration, or int64 on the way into a Recorder call reintroduces the
+float-seconds rounding the integer-ns schema exists to prevent.`,
+	AppliesTo: func(path string) bool {
+		return strings.HasPrefix(path, "mltcp/internal/") || strings.HasPrefix(path, "mltcp/cmd/")
+	},
+	Run: runTelemetryEmit,
+}
+
+func runTelemetryEmit(pass *Pass) error {
+	inTelemetry := pass.Pkg.Path() == telemetryPath
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if inTelemetry {
+					checkNilGuard(pass, n)
+				}
+			case *ast.CallExpr:
+				checkEmitArgs(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNilGuard requires exported pointer-receiver Recorder methods to
+// open with the nil-receiver guard.
+func checkNilGuard(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+		return
+	}
+	recv := fd.Recv.List[0]
+	star, ok := recv.Type.(*ast.StarExpr)
+	if !ok {
+		return
+	}
+	base, ok := star.X.(*ast.Ident)
+	if !ok || base.Name != "Recorder" {
+		return
+	}
+	recvName := ""
+	if len(recv.Names) > 0 {
+		recvName = recv.Names[0].Name
+	}
+	if len(fd.Body.List) > 0 && isNilGuard(fd.Body.List[0], recvName) {
+		return
+	}
+	pass.Reportf(fd.Pos(),
+		"exported Recorder method %s must start with the nil-receiver guard (a nil *Recorder is the documented disabled state)", fd.Name.Name)
+}
+
+// isNilGuard reports whether stmt is `if recv == nil [|| ...] { ... return ... }`.
+func isNilGuard(stmt ast.Stmt, recvName string) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	if !condTestsNil(ifs.Cond, recvName) {
+		return false
+	}
+	for _, s := range ifs.Body.List {
+		if _, ok := s.(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// condTestsNil looks for `recvName == nil` in cond, allowing it to be an
+// operand of || chains (e.g. `r == nil || !r.sampled(...)`).
+func condTestsNil(cond ast.Expr, recvName string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch c.Op.String() {
+		case "==":
+			x, okX := ast.Unparen(c.X).(*ast.Ident)
+			y, okY := ast.Unparen(c.Y).(*ast.Ident)
+			return okX && okY && x.Name == recvName && y.Name == "nil"
+		case "||":
+			return condTestsNil(c.X, recvName) || condTestsNil(c.Y, recvName)
+		}
+	}
+	return false
+}
+
+// checkEmitArgs flags float-derived integer-ns values in the arguments
+// of any *telemetry.Recorder method call.
+func checkEmitArgs(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return
+	}
+	pkg, name, ok := namedType(selection.Recv())
+	if !ok || pkg != telemetryPath || name != "Recorder" {
+		return
+	}
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			conv, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			target, isConv := isConversion(pass.TypesInfo, conv)
+			if !isConv || !isIntegerNS(target) {
+				return true
+			}
+			if opTV, ok := pass.TypesInfo.Types[conv.Args[0]]; ok && isFloat(opTV.Type) {
+				pass.Reportf(conv.Pos(),
+					"float-derived value converted into the integer-ns telemetry schema; carry sim.Time end to end (no float64(t)*1e9 conversions)")
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// isIntegerNS reports whether t is one of the schema's integer
+// nanosecond carriers: sim.Time, time.Duration, or int64.
+func isIntegerNS(t types.Type) bool {
+	if isDurationType(t) {
+		return true
+	}
+	b, ok := types.Unalias(t).(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}

@@ -1,0 +1,20 @@
+// Fixture for the registryname analyzer, type-checked under an
+// impersonated mltcp/cmd/... package path. "fluid", "packet", and
+// "centralized" are live registry names; "other" is not.
+package fixture
+
+func dispatch(name string) int {
+	switch name {
+	case "fluid": // want `registry name .fluid. hand-written in a case clause`
+		return 1
+	case "other": // not a registry name: clean
+		return 2
+	}
+	if name == "packet" { // want `registry name .packet. hand-written in a comparison`
+		return 3
+	}
+	if name != "centralized" { //lint:allow registryname fixture demonstrates a justified suppression
+		return 4
+	}
+	return 0
+}

@@ -1,0 +1,85 @@
+// Fixture for the simdeterminism analyzer, type-checked under an
+// impersonated mltcp/internal/... package path. Each `// want` comment
+// is an expected diagnostic; unmarked lines must stay clean.
+package fixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	r := rand.New(rand.NewSource(1)) // constructors build a private stream: clean
+	_ = r.Int()
+	return rand.Int() // want `global rand\.Int draws from a shared unseeded source`
+}
+
+func appendValues(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // want `map iteration order leaks into an append`
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration order leaks into a WriteString call`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func encodeValues(m map[string]int) {
+	enc := json.NewEncoder(os.Stdout)
+	for _, v := range m { // want `map iteration order leaks into a Encode call`
+		_ = enc.Encode(v)
+	}
+}
+
+func printValues(m map[string]int) {
+	for k, v := range m { // want `map iteration order leaks into fmt\.Println`
+		fmt.Println(k, v)
+	}
+}
+
+func sliceIndexWrite(m map[int]int, out []int) {
+	i := 0
+	for _, v := range m { // want `map iteration order leaks into a slice-index write`
+		out[i] = v
+		i++
+	}
+}
+
+// sortedIdiom is the canonical fix: collecting bare keys is clean.
+func sortedIdiom(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapToMap copies between maps; no ordered output, clean.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func suppressed() time.Time {
+	return time.Now() //lint:allow simdeterminism fixture demonstrates a justified suppression
+}

@@ -1,0 +1,43 @@
+// Fixture for the simunits analyzer, type-checked under an impersonated
+// mltcp/internal/... package path (internal/sim and internal/units
+// themselves are exempt as the conversion-defining packages).
+package fixture
+
+import (
+	"time"
+
+	"mltcp/internal/sim"
+)
+
+func conversions(d sim.Time, w time.Duration, f float64) {
+	_ = float64(d)       // want `float64\(duration\) bypasses the canonical conversion`
+	_ = float64(w)       // want `float64\(duration\) bypasses the canonical conversion`
+	_ = sim.Time(f)      // want `duration built from a float`
+	_ = time.Duration(f) // want `duration built from a float`
+	_ = d.Seconds()      // canonical conversion: clean
+	_ = sim.FromSeconds(f)
+	_ = d.Scale(f) // canonical scaling: clean
+}
+
+func division(d, e sim.Time) {
+	_ = d / e          // want `duration ÷ duration truncates to a dimensionless count`
+	_ = d / 4          // scalar division by an untyped constant: clean
+	_ = d / sim.Second // want `duration ÷ duration truncates to a dimensionless count`
+	_ = int(d / e)     // int(...) annotates an intentional count: clean
+	parts := 3
+	_ = d / sim.Time(parts) // explicit conversion from an integer: clean
+}
+
+func equality(a, b float64) bool {
+	if a == 0 { // constant-zero sentinel: clean
+		return false
+	}
+	if a != a { // NaN test: clean
+		return true
+	}
+	return a == b // want `exact float comparison`
+}
+
+func suppressedDivision(d, e sim.Time) sim.Time {
+	return d / e //lint:allow simunits fixture demonstrates a justified suppression
+}

@@ -1,0 +1,15 @@
+// Fixture for the telemetryemit call-site rule: arguments fed to the
+// real *telemetry.Recorder must not smuggle floats into the integer-ns
+// schema.
+package fixture
+
+import (
+	"mltcp/internal/sim"
+	"mltcp/internal/telemetry"
+)
+
+func emit(r *telemetry.Recorder, at sim.Time, f float64) {
+	r.Retransmit(sim.Time(f*1e9), 0, int64(f)) // want `float-derived value converted into the integer-ns telemetry schema` `float-derived value converted into the integer-ns telemetry schema`
+	r.Retransmit(at, 0, 7)                     // integer end to end: clean
+	r.IterEnd(at, 0, 1, at.Scale(f))           // canonical scaling helper: clean
+}

@@ -1,0 +1,33 @@
+// Fixture for the telemetryemit nil-guard rule, type-checked under the
+// impersonated mltcp/internal/telemetry path so the in-package rule
+// fires. The Recorder type here stands in for the real one.
+package telemetry
+
+type Recorder struct{ n int }
+
+// Guarded has the required shape: the nil-receiver guard comes first.
+func (r *Recorder) Guarded(v int64) {
+	if r == nil {
+		return
+	}
+	r.n++
+}
+
+// GuardedOr keeps the guard as the first operand of an || chain.
+func (r *Recorder) GuardedOr(v int64) {
+	if r == nil || v < 0 {
+		return
+	}
+	r.n++
+}
+
+func (r *Recorder) Unguarded(v int64) { // want `exported Recorder method Unguarded must start with the nil-receiver guard`
+	r.n++
+}
+
+// unexported methods are internal plumbing; callers already hold a
+// non-nil receiver.
+func (r *Recorder) unexported(v int64) { r.n++ }
+
+//lint:allow telemetryemit fixture demonstrates a justified suppression
+func (r *Recorder) Suppressed(v int64) { r.n++ }

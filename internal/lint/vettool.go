@@ -1,0 +1,177 @@
+// The `go vet -vettool` driver. cmd/go invokes a vettool in two ways:
+//
+//	tool -V=full            # version string, used as the cache key
+//	tool [flags] pkg.cfg    # analyze one package described by a JSON config
+//
+// This file implements that protocol (the same one x/tools' unitchecker
+// speaks) so the suite runs under `go vet -vettool=$(which mltcp-lint)`
+// with vet's caching and package graph, in addition to the standalone
+// `mltcp-lint ./...` driver in load.go.
+
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON config cmd/go writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VettoolArgs reports whether the process was invoked by `go vet`: the
+// -V=full version query, the -flags capability query, or a single *.cfg
+// argument naming the package to analyze.
+func VettoolArgs(args []string) bool {
+	if len(args) != 1 {
+		return false
+	}
+	return args[0] == "-V=full" || args[0] == "-flags" || strings.HasSuffix(args[0], ".cfg")
+}
+
+// VettoolMain handles a `go vet` invocation and returns the process exit
+// code: 0 for success, 1 for driver errors, 2 when diagnostics were
+// reported (vet's convention).
+func VettoolMain(progname string, args []string, analyzers []*Analyzer, stdout, stderr io.Writer) int {
+	if args[0] == "-V=full" {
+		// cmd/go folds this line into its action cache key. A "devel"
+		// version must carry buildID=<content hash of the executable>,
+		// so rebuilding the tool invalidates vet's cache.
+		id, err := executableID()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s version devel buildID=%s\n", progname, id)
+		return 0
+	}
+	if args[0] == "-flags" {
+		// cmd/go asks which flags the tool supports so it can forward
+		// vet's own; this suite defines none.
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	diags, err := vetPackage(args[0], analyzers)
+	if err != nil {
+		if err == errTypecheckTolerated {
+			return 0
+		}
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	return 2
+}
+
+// executableID returns a hex content hash of the running binary, the
+// cache-busting component of the -V=full version line.
+func executableID() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", fmt.Errorf("lint: locating executable: %w", err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "", fmt.Errorf("lint: opening executable: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("lint: hashing executable: %w", err)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// errTypecheckTolerated signals a type-check failure on a package whose
+// config asked for success anyway (cmd/go sets SucceedOnTypecheckFailure
+// for packages it knows are incomplete).
+var errTypecheckTolerated = fmt.Errorf("lint: tolerated type-check failure")
+
+func vetPackage(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading vet config: %w", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("lint: parsing vet config %s: %w", cfgPath, err)
+	}
+
+	// Facts output: this suite exports none, but downstream packages'
+	// invocations expect the file to exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, fmt.Errorf("lint: writing vetx output: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, errTypecheckTolerated
+			}
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	// Import resolution: source import path -> canonical package ->
+	// export data file, as recorded by cmd/go in the config.
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, canon := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canon]; ok {
+			exports[src] = file
+		}
+	}
+	imp := ExportImporter(fset, exports)
+	pkg, info, soft, err := Check(fset, imp, cfg.ImportPath, files)
+	if err != nil || len(soft) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, errTypecheckTolerated
+		}
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("lint: type-checking %s: %v", cfg.ImportPath, soft[0])
+	}
+	return Analyze(fset, files, pkg, info, analyzers)
+}

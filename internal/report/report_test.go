@@ -101,3 +101,39 @@ func TestMarkdownTableShape(t *testing.T) {
 		t.Errorf("separator = %q", lines[1])
 	}
 }
+
+// TestFormatDeterministic locks in the determinism audit of this package:
+// every formatter is a pure function of its result struct (no map
+// iteration, no wall clock), so repeated calls must agree byte for byte.
+func TestFormatDeterministic(t *testing.T) {
+	fig2 := experiments.Fig2Result{
+		Scheme: "mltcp-reno",
+		Jobs: []experiments.JobStats{
+			{Name: "J1", AvgIter: 1200 * sim.Millisecond, Ideal: 1200 * sim.Millisecond, Slowdown: 1.0},
+			{Name: "J2", AvgIter: 1800 * sim.Millisecond, Ideal: 1500 * sim.Millisecond, Slowdown: 1.2},
+		},
+		ConvergedAt: 7,
+	}
+	noise := experiments.NoiseResult{
+		SigmaMS:    []float64{10, 50},
+		MeasuredMS: []float64{12.5, 61.25},
+		BoundMS:    []float64{25.1, 125.5},
+	}
+	fct := []experiments.FCTResult{
+		{Scheme: "reno", Completed: 812, ShortMeanMS: 3.2, ShortP99MS: 14.7, LargeMeanMS: 120},
+		{Scheme: "dctcp", Completed: 820, ShortMeanMS: 2.1, ShortP99MS: 9.3, LargeMeanMS: 118},
+	}
+	renders := []func() string{
+		func() string { return FormatFig2(fig2) },
+		func() string { return FormatNoise(noise) },
+		func() string { return FormatFCT(fct) },
+	}
+	for i, render := range renders {
+		first := render()
+		for rep := 0; rep < 5; rep++ {
+			if got := render(); got != first {
+				t.Errorf("renderer %d: output changed between calls:\nfirst:\n%s\nthen:\n%s", i, first, got)
+			}
+		}
+	}
+}

@@ -49,7 +49,7 @@ func Hyperperiod(shapes []Shape) sim.Time {
 	}
 	h := shapes[0].Period
 	for _, s := range shapes[1:] {
-		h = h / gcd(h, s.Period) * s.Period
+		h = h / gcd(h, s.Period) * s.Period //lint:allow simunits LCM arithmetic: gcd divides h exactly, the quotient is a period count
 	}
 	return h
 }
@@ -204,7 +204,7 @@ func Feasible(shapes []Shape) bool {
 	H := Hyperperiod(shapes)
 	var busy sim.Time
 	for _, s := range shapes {
-		busy += s.CommDur * (H / s.Period)
+		busy += s.CommDur * (H / s.Period) //lint:allow simunits H is an exact multiple of Period; the quotient is an iteration count
 	}
 	return busy <= H
 }

@@ -44,6 +44,20 @@ func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
 // rounding to the nearest nanosecond.
 func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) }
 
+// Scale returns t multiplied by the dimensionless factor k, truncating
+// toward zero. It is the canonical way to scale a duration by a float
+// (duty cycles, jitter factors) without open-coding Time(float64(t)*k).
+func (t Time) Scale(k float64) Time { return Time(float64(t) * k) }
+
+// Div returns t divided by the dimensionless divisor k, truncating
+// toward zero.
+func (t Time) Div(k float64) Time { return Time(float64(t) / k) }
+
+// Ratio returns the dimensionless ratio num/den in full float precision.
+// Use it instead of float64(num)/float64(den) or the truncating integer
+// division num/den when a fractional ratio of two durations is wanted.
+func Ratio(num, den Time) float64 { return float64(num) / float64(den) }
+
 // String formats t like a time.Duration ("1.5s", "250µs", ...).
 func (t Time) String() string { return time.Duration(t).String() }
 

@@ -334,3 +334,45 @@ func TestRNGForkIndependence(t *testing.T) {
 		t.Error("forked streams identical")
 	}
 }
+
+func TestTimeScaleDivRatio(t *testing.T) {
+	t.Parallel()
+	// Scale/Div are the canonical forms of the open-coded float scaling
+	// they replaced; they must match it bit for bit so golden traces
+	// recorded before the refactor still replay byte-identically.
+	cases := []struct {
+		d Time
+		k float64
+	}{
+		{1800 * Millisecond, 0.72},
+		{1800 * Millisecond, 1.0},
+		{Second, 1.0 / 3},
+		{-250 * Microsecond, 0.5},
+		{7 * Nanosecond, 0.1},
+	}
+	for _, c := range cases {
+		if got, want := c.d.Scale(c.k), Time(float64(c.d)*c.k); got != want {
+			t.Errorf("(%v).Scale(%v) = %v, want %v", c.d, c.k, got, want)
+		}
+		if got, want := c.d.Div(c.k), Time(float64(c.d)/c.k); got != want {
+			t.Errorf("(%v).Div(%v) = %v, want %v", c.d, c.k, got, want)
+		}
+	}
+	if got := Ratio(450*Millisecond, 1800*Millisecond); got != 0.25 {
+		t.Errorf("Ratio(450ms, 1800ms) = %v, want 0.25", got)
+	}
+	// Ratio keeps fractional precision where integer division truncates.
+	if got := Ratio(Second, 3*Second); got == 0 {
+		t.Error("Ratio(1s, 3s) truncated to 0")
+	}
+}
+
+func TestTimeScaleTruncatesTowardZero(t *testing.T) {
+	t.Parallel()
+	if got := Time(10).Scale(0.39); got != 3 {
+		t.Errorf("Time(10).Scale(0.39) = %v, want 3 (truncation, not rounding)", got)
+	}
+	if got := Time(-10).Scale(0.39); got != -3 {
+		t.Errorf("Time(-10).Scale(0.39) = %v, want -3 (truncation toward zero)", got)
+	}
+}

@@ -57,10 +57,10 @@ func (c *Chart) Render(w io.Writer) error {
 	}
 
 	xmin, xmax, ymin, ymax := c.bounds()
-	if xmax == xmin {
+	if xmax == xmin { //lint:allow simunits degenerate-range guard: only the exactly-collapsed axis needs widening
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if ymax == ymin { //lint:allow simunits degenerate-range guard: only the exactly-collapsed axis needs widening
 		ymax = ymin + 1
 	}
 	plotW := float64(c.Width) - marginLeft - marginRight
@@ -178,7 +178,7 @@ func niceStep(raw float64) float64 {
 }
 
 func formatTick(v float64) string {
-	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 { //lint:allow simunits exact integrality test chooses integer tick formatting
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return fmt.Sprintf("%.3g", v)

@@ -263,7 +263,7 @@ func (s *Sender) trySend(now sim.Time) {
 			}
 			// Space emissions so the window drains over one SRTT
 			// (divided by the gain).
-			interval := sim.Time(float64(s.srtt) / (s.cfg.PacingGain * s.cwnd))
+			interval := s.srtt.Div(s.cfg.PacingGain * s.cwnd)
 			s.nextSend = now + interval
 		}
 		payload := int64(s.cfg.MSS)

@@ -58,7 +58,7 @@ func (s *Swift) OnAck(w Window, ev AckEvent) {
 	if ev.RTT > 0 && ev.RTT > target {
 		// Over target: proportional decrease, once per RTT.
 		if ev.Now-s.lastDecrease >= ev.RTT {
-			excess := float64(ev.RTT-target) / float64(ev.RTT)
+			excess := sim.Ratio(ev.RTT-target, ev.RTT)
 			factor := 1 - (1-s.Beta)*excess
 			cwnd := w.Cwnd() * factor
 			if cwnd < MinCwnd {

@@ -43,7 +43,7 @@ func WriteCSV(w io.Writer, xName string, xs []float64, series ...Series) error {
 }
 
 func formatNum(v float64) string {
-	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 { //lint:allow simunits exact integrality test chooses integer formatting
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return fmt.Sprintf("%.6g", v)
@@ -73,7 +73,7 @@ func Chart(title string, width, height int, series ...Series) string {
 	if maxLen == 0 {
 		return title + " (no data)\n"
 	}
-	if hi == lo {
+	if hi == lo { //lint:allow simunits degenerate-range guard: only the exactly-collapsed axis needs widening
 		hi = lo + 1
 	}
 

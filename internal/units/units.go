@@ -7,6 +7,7 @@ package units
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"mltcp/internal/sim"
 )
@@ -61,6 +62,12 @@ func (r Rate) BytesIn(d sim.Time) int64 {
 		return 0
 	}
 	return int64(float64(r) / 8 * d.Seconds())
+}
+
+// DurationMS returns d as a floating-point number of milliseconds, the
+// unit CLI flags and report columns use for human-facing durations.
+func DurationMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }
 
 // ByteCount is a data size in bytes.

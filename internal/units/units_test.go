@@ -3,6 +3,7 @@ package units
 import (
 	"testing"
 	"testing/quick"
+	"time"
 
 	"mltcp/internal/sim"
 )
@@ -90,5 +91,22 @@ func TestRateRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestDurationMS(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want float64
+	}{
+		{1500 * time.Millisecond, 1500},
+		{250 * time.Microsecond, 0.25},
+		{0, 0},
+		{-2 * time.Millisecond, -2},
+	}
+	for _, c := range cases {
+		if got := DurationMS(c.d); got != c.want {
+			t.Errorf("DurationMS(%v) = %v, want %v", c.d, got, c.want)
+		}
 	}
 }

@@ -27,7 +27,7 @@ func NewSizeDist(name string, sizes []float64, cum []float64) *SizeDist {
 	if !sort.Float64sAreSorted(sizes) || !sort.Float64sAreSorted(cum) {
 		panic(fmt.Sprintf("workload: %s anchors must be ascending", name))
 	}
-	if cum[len(cum)-1] != 1 {
+	if cum[len(cum)-1] != 1 { //lint:allow simunits anchors are literal constants; the final cumulative probability must be exactly 1
 		panic(fmt.Sprintf("workload: %s cumulative probability must end at 1", name))
 	}
 	return &SizeDist{name: name, bytes: sizes, cumProb: cum}

@@ -86,7 +86,7 @@ func Names() []string {
 func (p Profile) Scale(k float64) Profile {
 	return Profile{
 		Name:        fmt.Sprintf("%s×%.3g", p.Name, k),
-		ComputeTime: sim.Time(float64(p.ComputeTime) * k),
+		ComputeTime: p.ComputeTime.Scale(k),
 		CommBytes:   units.ByteCount(float64(p.CommBytes) * k),
 	}
 }
