@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet-lint clean
+.PHONY: build test race lint vet-lint bench bench-baseline clean
 
 build:
 	$(GO) build ./...
@@ -28,5 +28,15 @@ vet-lint: bin/mltcp-lint
 bin/mltcp-lint: $(wildcard internal/lint/*.go) $(wildcard cmd/mltcp-lint/*.go) go.mod
 	$(GO) build -o $@ ./cmd/mltcp-lint
 
+# Run the pinned benchmark suite and gate against the checked-in
+# baseline (fail past 20% regression, warn past 10%).
+bench:
+	$(GO) run ./cmd/mltcp-bench -out BENCH.json
+	$(GO) run ./cmd/mltcp-bench compare -gate 0.20 -warn 0.10 bench/baseline.json BENCH.json
+
+# Regenerate the baseline after a deliberate performance change.
+bench-baseline:
+	$(GO) run ./cmd/mltcp-bench -out bench/baseline.json
+
 clean:
-	rm -rf bin
+	rm -rf bin BENCH.json

@@ -1,0 +1,187 @@
+// Command mltcp-bench measures the simulator itself: it runs a pinned
+// scenario suite (both fidelities plus a harness sweep), collects
+// self-metrics through internal/obs — events/sec, sim/wall ratio,
+// allocs/op, peak heap, event-heap depth, worker utilization — together
+// with convergence diagnostics recomputed from traces, and writes a
+// schema-versioned BENCH.json. The compare mode diffs two BENCH.json
+// files and exits nonzero past the regression gate, which is how CI
+// holds the performance trajectory against bench/baseline.json.
+//
+// Examples:
+//
+//	mltcp-bench -out BENCH.json
+//	mltcp-bench -quick -reps 1 -out /tmp/quick.json
+//	mltcp-bench -cpuprofile cpu.pprof -memprofile heap.pprof
+//	mltcp-bench compare -gate 0.20 -warn 0.10 bench/baseline.json BENCH.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mltcp/internal/obs"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "compare" {
+		os.Exit(compareMain(args[1:]))
+	}
+	os.Exit(benchMain(args))
+}
+
+func benchMain(args []string) int {
+	fs := flag.NewFlagSet("mltcp-bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH.json", "output path for the benchmark results")
+	reps := fs.Int("reps", 3, "timed repetitions per suite point (min wall is the gated figure)")
+	quick := fs.Bool("quick", false, "run the seconds-fast subset instead of the full suite")
+	seed := fs.Uint64("seed", 1, "base seed for every suite scenario")
+	workers := fs.Int("workers", 0, "harness pool size for sweep points (0 = one per CPU)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole suite to this path")
+	memprofile := fs.String("memprofile", "", "write a post-suite heap profile to this path")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: mltcp-bench [flags]  |  mltcp-bench compare [flags] old.json new.json")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		prof, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer prof.Stop()
+	}
+
+	cfg := benchConfig{reps: *reps, seed: *seed, workers: *workers, quick: *quick}
+	f, err := runSuite(context.Background(), cfg, func(name string) {
+		fmt.Fprintf(os.Stderr, "bench: running %s\n", name)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	if *memprofile != "" {
+		if err := obs.WriteHeapProfile(*memprofile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
+	of, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := obs.WriteBench(of, f); err != nil {
+		of.Close()
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := of.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	printSummary(f)
+	fmt.Printf("wrote %s (%d points)\n", *out, len(f.Points))
+	return 0
+}
+
+// printSummary renders the human-readable table next to the JSON file.
+func printSummary(f *obs.BenchFile) {
+	fmt.Printf("suite=%s %s gomaxprocs=%d", f.Suite, f.GoVersion, f.GOMAXPROCS)
+	if f.Revision != "" {
+		fmt.Printf(" revision=%s", f.Revision)
+	}
+	fmt.Println()
+	fmt.Printf("%-26s %12s %14s %12s %12s %10s %s\n",
+		"point", "wall(min)", "events/s", "sim/wall", "allocs/op", "peakheap", "interleave")
+	for _, p := range f.Points {
+		interleave := fmt.Sprintf("iter %d", p.InterleavedAt)
+		if p.InterleavedAt < 0 {
+			interleave = "never"
+		}
+		fmt.Printf("%-26s %12v %14.3g %12.1f %12d %10s %s\n",
+			p.Name, time.Duration(p.WallNSMin).Round(time.Microsecond), p.EventsPerSec, p.SimWallRatio,
+			p.AllocsPerOp, sizeOf(p.PeakHeapBytes), interleave)
+	}
+}
+
+func sizeOf(bytes uint64) string {
+	switch {
+	case bytes >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(bytes)/(1<<30))
+	case bytes >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(bytes)/(1<<20))
+	case bytes >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(bytes)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", bytes)
+}
+
+func compareMain(args []string) int {
+	fs := flag.NewFlagSet("mltcp-bench compare", flag.ExitOnError)
+	gate := fs.Float64("gate", 0.20, "fail on gated metrics regressing past this fraction")
+	warn := fs.Float64("warn", 0.10, "warn on gated metrics regressing past this fraction")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: mltcp-bench compare [flags] old.json new.json")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	oldF, err := readBenchFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	newF, err := readBenchFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	rep, err := obs.Compare(oldF, newF, *warn, *gate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	for _, name := range rep.NewPoints {
+		fmt.Printf("new point %s (no baseline)\n", name)
+	}
+	for _, d := range rep.Warnings {
+		fmt.Printf("WARN %s %s: %s -> %s (%+.1f%%)\n",
+			d.Point, d.Metric, compact(d.Old), compact(d.New), d.Change*100)
+	}
+	for _, d := range rep.Regressions {
+		fmt.Printf("REGRESSION %s %s: %s -> %s (%+.1f%%, gate %.0f%%)\n",
+			d.Point, d.Metric, compact(d.Old), compact(d.New), d.Change*100, *gate*100)
+	}
+	for _, name := range rep.MissingPoints {
+		fmt.Printf("REGRESSION %s: point missing from %s\n", name, fs.Arg(1))
+	}
+	fmt.Printf("compared %d deltas: %d regressions, %d warnings\n",
+		len(rep.Deltas), len(rep.Regressions)+len(rep.MissingPoints), len(rep.Warnings))
+	if rep.Failed() {
+		return 1
+	}
+	return 0
+}
+
+func readBenchFile(path string) (*obs.BenchFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadBench(f)
+}
+
+func compact(v float64) string { return fmt.Sprintf("%.4g", v) }

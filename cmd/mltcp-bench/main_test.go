@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/obs"
+)
+
+// runQuick runs the quick suite once per test binary; the measurements
+// are shared across the tests below.
+var quickFile *obs.BenchFile
+
+func TestMain(m *testing.M) {
+	f, err := runSuite(context.Background(), benchConfig{reps: 1, seed: 1, quick: true}, nil)
+	if err != nil {
+		panic(err)
+	}
+	quickFile = f
+	os.Exit(m.Run())
+}
+
+func TestQuickSuiteShape(t *testing.T) {
+	want := quickSuite()
+	if len(quickFile.Points) != len(want) {
+		t.Fatalf("got %d points, want %d", len(quickFile.Points), len(want))
+	}
+	if quickFile.Suite != "quick" || quickFile.Schema != obs.BenchSchema {
+		t.Fatalf("file header %+v", quickFile)
+	}
+	for i, p := range quickFile.Points {
+		if p.Name != want[i].name {
+			t.Fatalf("point %d named %q, want %q", i, p.Name, want[i].name)
+		}
+		if p.Events == 0 {
+			t.Errorf("%s: zero events", p.Name)
+		}
+		if p.WallNSMin <= 0 || p.WallNSMean < p.WallNSMin {
+			t.Errorf("%s: wall min=%d mean=%d", p.Name, p.WallNSMin, p.WallNSMean)
+		}
+		if p.AllocsPerOp == 0 || p.AllocBytesPerOp == 0 {
+			t.Errorf("%s: empty allocation figures %+v", p.Name, p)
+		}
+		if p.PeakHeapBytes == 0 {
+			t.Errorf("%s: peak heap never sampled", p.Name)
+		}
+		if p.EventsPerSec <= 0 || p.SimWallRatio <= 0 {
+			t.Errorf("%s: derived rates %v %v", p.Name, p.EventsPerSec, p.SimWallRatio)
+		}
+		if p.InterleavedAt < -1 {
+			t.Errorf("%s: interleaved_at %d", p.Name, p.InterleavedAt)
+		}
+		if len(p.OverlapQuarters) != 4 {
+			t.Errorf("%s: %d overlap quarters, want 4", p.Name, len(p.OverlapQuarters))
+		}
+		switch {
+		case want[i].sweepRuns > 0:
+			if p.WorkerUtilization <= 0 {
+				t.Errorf("%s: sweep point with zero worker utilization", p.Name)
+			}
+		case p.Backend == backend.NamePacket:
+			if p.MaxHeapDepth <= 0 {
+				t.Errorf("%s: packet point with zero event-heap depth", p.Name)
+			}
+		}
+	}
+}
+
+func TestQuickSuiteRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.WriteBench(&buf, quickFile); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obs.ReadBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(quickFile, got) {
+		t.Fatal("BENCH.json round trip diverged")
+	}
+}
+
+func TestCompareSelfPasses(t *testing.T) {
+	rep, err := obs.Compare(quickFile, quickFile, 0.10, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("self-comparison regressed: %+v", rep.Regressions)
+	}
+}
+
+func TestCompareMainExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f *obs.BenchFile) string {
+		path := filepath.Join(dir, name)
+		of, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteBench(of, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := of.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", quickFile)
+
+	if code := compareMain([]string{base, base}); code != 0 {
+		t.Fatalf("self-compare exited %d", code)
+	}
+
+	// A >20% allocation regression on one point must fail the gate.
+	worse := *quickFile
+	worse.Points = append([]obs.BenchPoint(nil), quickFile.Points...)
+	worse.Points[0].AllocsPerOp = worse.Points[0].AllocsPerOp * 2
+	if code := compareMain([]string{base, write("worse.json", &worse)}); code != 1 {
+		t.Fatalf("2x allocs regression exited %d, want 1", code)
+	}
+
+	// A dropped suite point must fail the gate too.
+	dropped := *quickFile
+	dropped.Points = quickFile.Points[:len(quickFile.Points)-1]
+	if code := compareMain([]string{base, write("dropped.json", &dropped)}); code != 1 {
+		t.Fatalf("missing point exited %d, want 1", code)
+	}
+
+	if code := compareMain([]string{base, filepath.Join(dir, "absent.json")}); code != 1 {
+		t.Fatalf("unreadable file exited %d, want 1", code)
+	}
+}
+
+func TestBenchMainQuickWritesFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick suite a second time")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	heap := filepath.Join(dir, "heap.pprof")
+	code := benchMain([]string{"-quick", "-reps", "1", "-out", out,
+		"-cpuprofile", cpu, "-memprofile", heap})
+	if code != 0 {
+		t.Fatalf("benchMain exited %d", code)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := obs.ReadBench(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Points) != len(quickSuite()) {
+		t.Fatalf("wrote %d points, want %d", len(f.Points), len(quickSuite()))
+	}
+	for _, p := range []string{cpu, heap} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+	}
+	if !strings.HasSuffix(string(raw), "\n") {
+		t.Fatal("BENCH.json missing trailing newline")
+	}
+}

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/config"
+	"mltcp/internal/experiments"
+	"mltcp/internal/obs"
+	"mltcp/internal/sim"
+	"mltcp/internal/telemetry"
+)
+
+// suitePoint is one pinned benchmark scenario. The suite is fixed so
+// BENCH.json files from different revisions diff point-by-point.
+type suitePoint struct {
+	name        string
+	backendName string
+	scenario    *config.Scenario
+	// sweepRuns, when positive, replicates the scenario that many times
+	// across the harness worker pool and times the whole grid (measuring
+	// harness overhead and worker utilization) instead of a single run.
+	sweepRuns int
+}
+
+// scenario builds a suite scenario from a profile list.
+func scenario(name string, durationSec float64, profiles ...string) *config.Scenario {
+	scn := &config.Scenario{Name: name, Policy: "mltcp", DurationSec: durationSec}
+	for i, p := range profiles {
+		scn.Jobs = append(scn.Jobs, config.Job{Name: fmt.Sprintf("J%d", i+1), Profile: p})
+	}
+	return scn
+}
+
+// fullSuite is the pinned scenario grid: both fidelities, job counts
+// scaling 2→8, one mixed-model point, and one harness sweep. Names are
+// the comparison keys — renaming a point orphans its trajectory.
+func fullSuite() []suitePoint {
+	return []suitePoint{
+		{name: "fluid/two-gpt2", backendName: backend.NameFluid,
+			scenario: scenario("bench-fluid-two-gpt2", 120, "gpt2", "gpt2")},
+		{name: "fluid/four-mix", backendName: backend.NameFluid,
+			scenario: scenario("bench-fluid-four-mix", 120, "gpt3", "gpt2", "gpt2", "gpt2")},
+		{name: "fluid/eight-gpt2", backendName: backend.NameFluid,
+			scenario: scenario("bench-fluid-eight-gpt2", 250,
+				"gpt2", "gpt2", "gpt2", "gpt2", "gpt2", "gpt2", "gpt2", "gpt2")},
+		{name: "packet/two-gpt2", backendName: backend.NamePacket,
+			scenario: scenario("bench-packet-two-gpt2", 20, "gpt2", "gpt2")},
+		{name: "packet/four-gpt2", backendName: backend.NamePacket,
+			scenario: scenario("bench-packet-four-gpt2", 20, "gpt2", "gpt2", "gpt2", "gpt2")},
+		{name: "sweep/fluid-two-gpt2-x8", backendName: backend.NameFluid,
+			scenario:  scenario("bench-sweep-fluid-two-gpt2", 120, "gpt2", "gpt2"),
+			sweepRuns: 8},
+	}
+}
+
+// quickSuite is a seconds-fast subset with the same shape (both
+// fidelities plus a sweep), used by -quick and the command's own tests.
+func quickSuite() []suitePoint {
+	return []suitePoint{
+		{name: "fluid/two-gpt2", backendName: backend.NameFluid,
+			scenario: scenario("bench-fluid-two-gpt2", 30, "gpt2", "gpt2")},
+		{name: "packet/two-gpt2", backendName: backend.NamePacket,
+			scenario: scenario("bench-packet-two-gpt2", 5, "gpt2", "gpt2")},
+		{name: "sweep/fluid-two-gpt2-x4", backendName: backend.NameFluid,
+			scenario:  scenario("bench-sweep-fluid-two-gpt2", 30, "gpt2", "gpt2"),
+			sweepRuns: 4},
+	}
+}
+
+// benchConfig carries the run-mode flags into the suite runner.
+type benchConfig struct {
+	reps    int
+	seed    uint64
+	workers int
+	quick   bool
+}
+
+// runSuite executes every suite point and assembles the BenchFile.
+func runSuite(ctx context.Context, cfg benchConfig, progress func(string)) (*obs.BenchFile, error) {
+	points := fullSuite()
+	suiteName := "full"
+	if cfg.quick {
+		points = quickSuite()
+		suiteName = "quick"
+	}
+	if cfg.reps < 1 {
+		cfg.reps = 1
+	}
+	f := &obs.BenchFile{
+		Schema:     obs.BenchSchema,
+		Suite:      suiteName,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Revision:   telemetry.Revision(),
+	}
+	for _, pt := range points {
+		if progress != nil {
+			progress(pt.name)
+		}
+		bp, err := runBenchPoint(ctx, cfg, pt)
+		if err != nil {
+			return nil, fmt.Errorf("mltcp-bench: point %s: %w", pt.name, err)
+		}
+		f.Points = append(f.Points, *bp)
+	}
+	return f, nil
+}
+
+// runBenchPoint measures one suite point: a traced run for the
+// convergence diagnostics, then reps timed runs under an obs collector
+// for the performance figures.
+func runBenchPoint(ctx context.Context, cfg benchConfig, pt suitePoint) (*obs.BenchPoint, error) {
+	b, err := backend.New(pt.backendName)
+	if err != nil {
+		return nil, err
+	}
+	scn := pt.scenario
+	bp := &obs.BenchPoint{
+		Name:        pt.name,
+		Backend:     pt.backendName,
+		Jobs:        len(scn.Jobs),
+		DurationSec: scn.DurationSec,
+		Reps:        cfg.reps,
+	}
+
+	// Convergence diagnostics, recomputed from a trace (not the Result)
+	// so the bench exercises the same decode path mltcp-trace ships. A
+	// sweep point diagnoses its first replica's seed.
+	seed := cfg.seed
+	if pt.sweepRuns > 0 {
+		seed = sim.DeriveSeed(cfg.seed, 0)
+	}
+	rec, buf, _ := telemetry.NewBuffered(telemetry.Options{})
+	if _, err := b.Run(telemetry.WithRecorder(ctx, rec), scn, seed); err != nil {
+		return nil, err
+	}
+	res, err := backend.ResultFromTrace(rec.Manifest(), buf.Events())
+	if err != nil {
+		return nil, err
+	}
+	bp.InterleavedAt = res.InterleavedAt
+	for q := sim.Time(0); q < 4; q++ {
+		bp.OverlapQuarters = append(bp.OverlapQuarters,
+			backend.OverlapScoreOf(res.Jobs, res.Duration*q/4, res.Duration*(q+1)/4))
+	}
+
+	// Timed reps: telemetry off (measuring the simulator, not the trace
+	// encoder), obs collector on, a GC before each rep so allocation
+	// deltas are attributable to the rep.
+	var walls []time.Duration
+	var allocs, allocBytes []uint64
+	for r := 0; r < cfg.reps; r++ {
+		runtime.GC()
+		col := obs.NewCollector()
+		rctx := obs.WithCollector(ctx, col)
+		before := obs.ReadMem()
+		sw := obs.StartTimer()
+		if pt.sweepRuns > 0 {
+			if _, err := experiments.ScenarioGrid(rctx, b, scn, pt.sweepRuns, cfg.seed, cfg.workers); err != nil {
+				return nil, err
+			}
+		} else {
+			if _, err := b.Run(rctx, scn, cfg.seed); err != nil {
+				return nil, err
+			}
+		}
+		wall := sw.Elapsed()
+		after := obs.ReadMem()
+		walls = append(walls, wall)
+		allocs = append(allocs, after.Mallocs-before.Mallocs)
+		allocBytes = append(allocBytes, after.TotalAllocBytes-before.TotalAllocBytes)
+
+		var repEvents uint64
+		for _, rs := range col.Runs() {
+			repEvents += rs.Events
+			if rs.MaxHeapDepth > bp.MaxHeapDepth {
+				bp.MaxHeapDepth = rs.MaxHeapDepth
+			}
+			if rs.PeakHeapBytes > bp.PeakHeapBytes {
+				bp.PeakHeapBytes = rs.PeakHeapBytes
+			}
+		}
+		bp.Events = repEvents // deterministic: identical every rep
+		for _, ss := range col.Sweeps() {
+			if u := ss.Utilization(); u > bp.WorkerUtilization {
+				bp.WorkerUtilization = u
+			}
+		}
+	}
+
+	minW, meanW := summarizeWalls(walls)
+	bp.WallNSMin = int64(minW)
+	bp.WallNSMean = int64(meanW)
+	if s := minW.Seconds(); s > 0 {
+		bp.EventsPerSec = float64(bp.Events) / s
+		ops := 1
+		if pt.sweepRuns > 0 {
+			ops = pt.sweepRuns
+		}
+		bp.SimWallRatio = scn.Duration().Seconds() * float64(ops) / s
+	}
+	// min strips scheduler and GC-timing noise, which only ever adds.
+	bp.AllocsPerOp = minUint64(allocs)
+	bp.AllocBytesPerOp = minUint64(allocBytes)
+	return bp, nil
+}
+
+func summarizeWalls(walls []time.Duration) (minW, meanW time.Duration) {
+	if len(walls) == 0 {
+		return 0, 0
+	}
+	minW = walls[0]
+	var sum time.Duration
+	for _, w := range walls {
+		if w < minW {
+			minW = w
+		}
+		sum += w
+	}
+	return minW, sum / time.Duration(len(walls))
+}
+
+func minUint64(vs []uint64) uint64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	m := vs[0]
+	for _, v := range vs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/sim"
+	"mltcp/internal/telemetry"
+)
+
+// summarySchema versions the -json summary document, bumped on any
+// incompatible change to its field set.
+const summarySchema = 1
+
+// writeJSON emits the full summary — manifest, recomputed interleaving
+// scores, per-job iteration and congestion tables, overlap per quarter,
+// and the metrics snapshot — as one stable JSON document. It follows the
+// encoder conventions of internal/telemetry/jsonl.go: hand-rolled fixed
+// field order, durations as integer nanoseconds, floats in their
+// shortest exact representation, sub-objects that already have a stable
+// schema (manifest, metrics) embedded via encoding/json. Equal traces
+// therefore serialize to equal bytes.
+func writeJSON(w io.Writer, tr *telemetry.Trace, res *backend.Result, skip int) error {
+	appendF := func(b []byte, v float64) []byte {
+		return strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+
+	b := []byte(`{"kind":"trace-summary","schema":`)
+	b = strconv.AppendInt(b, summarySchema, 10)
+
+	mb, err := json.Marshal(tr.Manifest)
+	if err != nil {
+		return err
+	}
+	b = append(b, `,"manifest":`...)
+	b = append(b, mb...)
+
+	b = append(b, `,"events":`...)
+	b = strconv.AppendInt(b, int64(len(tr.Events)), 10)
+	b = append(b, `,"interleaved_at":`...)
+	b = strconv.AppendInt(b, int64(res.InterleavedAt), 10)
+	b = append(b, `,"overlap":`...)
+	b = appendF(b, res.OverlapScore)
+
+	stats, _ := collectFlowStats(tr.Events)
+	b = append(b, `,"jobs":[`...)
+	for i := range res.Jobs {
+		j := &res.Jobs[i]
+		flow := 0
+		if i < len(tr.Manifest.Jobs) {
+			flow = tr.Manifest.Jobs[i].Flow
+		}
+		if i > 0 {
+			b = append(b, ',')
+		}
+		nb, err := json.Marshal(j.Name)
+		if err != nil {
+			return err
+		}
+		pb, err := json.Marshal(j.Profile)
+		if err != nil {
+			return err
+		}
+		b = append(b, `{"flow":`...)
+		b = strconv.AppendInt(b, int64(flow), 10)
+		b = append(b, `,"name":`...)
+		b = append(b, nb...)
+		b = append(b, `,"profile":`...)
+		b = append(b, pb...)
+		b = append(b, `,"iterations":`...)
+		b = strconv.AppendInt(b, int64(j.Iterations()), 10)
+		b = append(b, `,"steady_iter_ns":`...)
+		b = strconv.AppendInt(b, int64(j.SteadyIter(skip)), 10)
+		b = append(b, `,"ideal_ns":`...)
+		b = strconv.AppendInt(b, int64(j.Ideal), 10)
+		b = append(b, `,"slowdown":`...)
+		b = appendF(b, j.Slowdown(skip))
+		if s, ok := stats[flow]; ok {
+			b = append(b, `,"retx":`...)
+			b = strconv.AppendInt(b, int64(s.retx), 10)
+			b = append(b, `,"rto":`...)
+			b = strconv.AppendInt(b, int64(s.rto), 10)
+			b = append(b, `,"recoveries":`...)
+			b = strconv.AppendInt(b, int64(s.recoveries), 10)
+			b = append(b, `,"cwnd_samples":`...)
+			b = strconv.AppendInt(b, int64(s.cwndSamples), 10)
+			b = append(b, `,"final_cwnd":`...)
+			b = appendF(b, s.lastCwnd)
+			b = append(b, `,"final_factor":`...)
+			b = appendF(b, s.lastFactor)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ']')
+
+	b = append(b, `,"overlap_quarters":[`...)
+	const parts = 4
+	for q := sim.Time(0); q < parts; q++ {
+		if q > 0 {
+			b = append(b, ',')
+		}
+		b = appendF(b, backend.OverlapScoreOf(res.Jobs, res.Duration*q/parts, res.Duration*(q+1)/parts))
+	}
+	b = append(b, ']')
+
+	if tr.Metrics != nil {
+		sb, err := json.Marshal(tr.Metrics)
+		if err != nil {
+			return err
+		}
+		b = append(b, `,"metrics":`...)
+		b = append(b, sb...)
+	}
+	b = append(b, '}', '\n')
+
+	if !json.Valid(b) {
+		return fmt.Errorf("mltcp-trace: internal error: summary is not valid JSON")
+	}
+	bw := bufio.NewWriter(w)
+	bw.Write(b)
+	return bw.Flush()
+}

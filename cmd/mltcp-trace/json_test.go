@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/telemetry"
+)
+
+// summarize renders the -json summary of a test trace into memory.
+func summarize(t *testing.T, path string) []byte {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := telemetry.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := backend.ResultFromTrace(tr.Manifest, tr.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := writeJSON(&out, tr, res, *skipFlag); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+func TestJSONSummaryStableAndComplete(t *testing.T) {
+	path, res := writeTestTrace(t)
+	first := summarize(t, path)
+	second := summarize(t, path)
+	if !bytes.Equal(first, second) {
+		t.Fatal("equal traces summarized to different bytes")
+	}
+	if !json.Valid(first) {
+		t.Fatalf("summary is not valid JSON: %s", first)
+	}
+
+	var doc struct {
+		Kind          string              `json:"kind"`
+		Schema        int                 `json:"schema"`
+		Manifest      *telemetry.Manifest `json:"manifest"`
+		Events        int                 `json:"events"`
+		InterleavedAt int                 `json:"interleaved_at"`
+		Overlap       float64             `json:"overlap"`
+		Jobs          []struct {
+			Flow         int     `json:"flow"`
+			Name         string  `json:"name"`
+			Profile      string  `json:"profile"`
+			Iterations   int     `json:"iterations"`
+			SteadyIterNS int64   `json:"steady_iter_ns"`
+			IdealNS      int64   `json:"ideal_ns"`
+			Slowdown     float64 `json:"slowdown"`
+		} `json:"jobs"`
+		OverlapQuarters []float64           `json:"overlap_quarters"`
+		Metrics         *telemetry.Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(first, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Kind != "trace-summary" || doc.Schema != summarySchema {
+		t.Fatalf("header kind=%q schema=%d", doc.Kind, doc.Schema)
+	}
+	if doc.Manifest == nil || doc.Manifest.Scenario != "cli-test" {
+		t.Fatalf("manifest %+v", doc.Manifest)
+	}
+	if doc.Events == 0 {
+		t.Fatal("zero events reported")
+	}
+	if doc.InterleavedAt != res.InterleavedAt || doc.Overlap != res.OverlapScore {
+		t.Fatalf("scores (%d, %v) != run (%d, %v)",
+			doc.InterleavedAt, doc.Overlap, res.InterleavedAt, res.OverlapScore)
+	}
+	if len(doc.Jobs) != len(res.Jobs) {
+		t.Fatalf("%d jobs, want %d", len(doc.Jobs), len(res.Jobs))
+	}
+	for i, j := range doc.Jobs {
+		want := res.Jobs[i]
+		if j.Name != want.Name || j.Profile != want.Profile {
+			t.Fatalf("job %d identity %+v", i, j)
+		}
+		if j.Flow != i+1 {
+			t.Fatalf("job %d flow %d", i, j.Flow)
+		}
+		if j.Iterations != want.Iterations() {
+			t.Fatalf("job %d iterations %d, want %d", i, j.Iterations, want.Iterations())
+		}
+		// Durations cross the JSON boundary as integer nanoseconds, so
+		// the decoded values are exact, not float round-trips.
+		if j.SteadyIterNS != int64(want.SteadyIter(*skipFlag)) || j.IdealNS != int64(want.Ideal) {
+			t.Fatalf("job %d durations %+v", i, j)
+		}
+		if j.Slowdown != want.Slowdown(*skipFlag) {
+			t.Fatalf("job %d slowdown %v, want %v", i, j.Slowdown, want.Slowdown(*skipFlag))
+		}
+	}
+	if len(doc.OverlapQuarters) != 4 {
+		t.Fatalf("%d overlap quarters, want 4", len(doc.OverlapQuarters))
+	}
+	if doc.Metrics == nil || doc.Metrics.Counters["job.iterations"] == 0 {
+		t.Fatalf("metrics snapshot missing or empty: %+v", doc.Metrics)
+	}
+}
+
+// TestRunJSONMode drives run() end to end with -json set.
+func TestRunJSONMode(t *testing.T) {
+	path, _ := writeTestTrace(t)
+	*jsonFlag = true
+	defer func() { *jsonFlag = false }()
+	if err := run(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,6 +29,7 @@ var (
 	eventsFlag = flag.Bool("events", false, "also print the raw event counts per (kind, flow)")
 	widthFlag  = flag.Int("width", 100, "chart width in columns")
 	skipFlag   = flag.Int("skip", 20, "iterations to skip in steady-state averages")
+	jsonFlag   = flag.Bool("json", false, "emit the summary as stable machine-readable JSON instead of text")
 )
 
 func main() {
@@ -55,11 +56,15 @@ func run(path string) error {
 		return err
 	}
 
-	printManifest(tr.Manifest)
 	res, err := backend.ResultFromTrace(tr.Manifest, tr.Events)
 	if err != nil {
 		return err
 	}
+	if *jsonFlag {
+		return writeJSON(os.Stdout, tr, res, *skipFlag)
+	}
+
+	printManifest(tr.Manifest)
 	fmt.Printf("interleaved-at=%d overlap=%.3f (recomputed from %d events)\n\n",
 		res.InterleavedAt, res.OverlapScore, len(tr.Events))
 
@@ -111,7 +116,10 @@ type flowStats struct {
 	lastRatio, lastFactor float64
 }
 
-func printCongestion(tr *telemetry.Trace) {
+// collectFlowStats aggregates the congestion-related events per flow,
+// returning the stats map and the flow IDs in ascending order — shared
+// by the text and -json renderings so both report the same numbers.
+func collectFlowStats(events []telemetry.Event) (map[int]*flowStats, []int) {
 	stats := map[int]*flowStats{}
 	get := func(flow int) *flowStats {
 		s, ok := stats[flow]
@@ -121,7 +129,7 @@ func printCongestion(tr *telemetry.Trace) {
 		}
 		return s
 	}
-	for _, e := range tr.Events {
+	for _, e := range events {
 		switch e.Kind {
 		case telemetry.KindRetransmit:
 			get(e.Flow).retx++
@@ -139,14 +147,19 @@ func printCongestion(tr *telemetry.Trace) {
 			s.lastRatio, s.lastFactor = e.V0, e.V1
 		}
 	}
-	if len(stats) == 0 {
-		return
-	}
 	flows := make([]int, 0, len(stats))
 	for f := range stats {
 		flows = append(flows, f)
 	}
 	sort.Ints(flows)
+	return stats, flows
+}
+
+func printCongestion(tr *telemetry.Trace) {
+	stats, flows := collectFlowStats(tr.Events)
+	if len(stats) == 0 {
+		return
+	}
 	var rows [][]string
 	for _, f := range flows {
 		if *flowFlag != 0 && f != *flowFlag {

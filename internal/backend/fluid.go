@@ -6,6 +6,7 @@ import (
 
 	"mltcp/internal/config"
 	"mltcp/internal/fluid"
+	"mltcp/internal/obs"
 	"mltcp/internal/sim"
 	"mltcp/internal/telemetry"
 )
@@ -74,7 +75,10 @@ func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Re
 	}, jobs)
 
 	// Integrate in chunks so a cancelled context (harness point timeout,
-	// ^C) aborts a long horizon promptly.
+	// ^C) aborts a long horizon promptly. The obs span is out-of-band:
+	// heartbeats sample the heap, never the solver (the fluid backend has
+	// no event heap, hence depth 0).
+	span := obs.FromContext(ctx).StartRun(b.Name())
 	horizon := s.Duration()
 	const chunks = 16
 	for c := sim.Time(1); c <= chunks; c++ {
@@ -82,7 +86,9 @@ func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Re
 			return nil, fmt.Errorf("backend: fluid run aborted: %w", err)
 		}
 		fsim.Run(horizon * c / chunks)
+		span.Heartbeat(0)
 	}
+	span.Finish(fsim.Steps(), horizon)
 	fsim.EmitTrace(rec)
 
 	res := &Result{

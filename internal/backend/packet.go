@@ -8,6 +8,7 @@ import (
 	"mltcp/internal/config"
 	"mltcp/internal/core"
 	"mltcp/internal/netsim"
+	"mltcp/internal/obs"
 	"mltcp/internal/sim"
 	"mltcp/internal/tcp"
 	"mltcp/internal/telemetry"
@@ -187,16 +188,24 @@ func (b *Packet) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*R
 		rec.SetManifest(newManifest(&s, b.Name(), seed, bottleneck, scale, mjobs))
 	}
 
+	// Self-metrics are out-of-band: the span reads the engine and the
+	// topology but never feeds back, so traces and Results are identical
+	// with or without a collector (pinned by obs_test.go).
+	span := obs.FromContext(ctx).StartRun(b.Name())
 	const chunks = 8
 	for c := sim.Time(1); c <= chunks; c++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("backend: packet run aborted: %w", err)
 		}
 		eng.RunUntil(horizon * c / chunks)
+		span.Heartbeat(eng.Pending())
 	}
 	if bwMon != nil {
 		bwMon.EmitTo(rec)
 	}
+	lst := net.AggregateStats()
+	span.AddLinkTotals(lst.PacketsSent, lst.PacketsDropped, lst.BytesSent)
+	span.Finish(eng.Fired(), horizon)
 
 	res := &Result{
 		Backend:  b.Name(),

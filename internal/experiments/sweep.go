@@ -7,6 +7,7 @@ import (
 	"mltcp/internal/core"
 	"mltcp/internal/fluid"
 	"mltcp/internal/harness"
+	"mltcp/internal/obs"
 	"mltcp/internal/sched"
 	"mltcp/internal/sim"
 	"mltcp/internal/workload"
@@ -124,9 +125,9 @@ func ScalabilityWorkers(ns []int, workers int) []ScalabilityPoint {
 			for i := range shapes {
 				shapes[i] = sched.ShapeOf(workload.GPT2, LinkCapacity)
 			}
-			start := time.Now() //lint:allow simdeterminism OptimizerWall measures the optimizer's real cost, not simulated time
+			sw := obs.StartTimer()
 			res := sched.Optimize(shapes, sched.Options{Seed: uint64(n)})
-			p.OptimizerWall = time.Since(start) //lint:allow simdeterminism OptimizerWall measures the optimizer's real cost, not simulated time
+			p.OptimizerWall = sw.Elapsed()
 			p.OptimizerInterleaved = res.Interleaved
 
 			jobs := gpt2Jobs(n, defaultAgg())

@@ -144,9 +144,10 @@ type Config struct {
 
 // Sim runs a set of jobs over one bottleneck.
 type Sim struct {
-	cfg  Config
-	jobs []*Job
-	now  sim.Time
+	cfg   Config
+	jobs  []*Job
+	now   sim.Time
+	steps uint64
 
 	trace map[*Job][]float64 // bytes per bucket
 }
@@ -188,9 +189,15 @@ func (s *Sim) Jobs() []*Job { return s.jobs }
 // Now returns the current simulation time.
 func (s *Sim) Now() sim.Time { return s.now }
 
+// Steps returns the number of integration intervals processed so far —
+// the fluid analogue of a discrete engine's fired-event count, used by
+// the self-metrics layer to express solver throughput.
+func (s *Sim) Steps() uint64 { return s.steps }
+
 // Run advances the simulation to the given absolute time.
 func (s *Sim) Run(until sim.Time) {
 	for s.now < until {
+		s.steps++
 		s.wakeDueJobs()
 
 		active := s.activeJobs()

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"mltcp/internal/obs"
 	"mltcp/internal/sim"
 )
 
@@ -104,6 +105,7 @@ func Run[T any](ctx context.Context, cfg Config, n int, fn Scenario[T]) []Result
 	if workers > n {
 		workers = n
 	}
+	sweep := obs.FromContext(ctx).StartSweep(n, workers)
 
 	// Feed indices through a channel: workers pull the next point as they
 	// free up, so an expensive point does not stall the rest of the grid.
@@ -135,10 +137,12 @@ func Run[T any](ctx context.Context, cfg Config, n int, fn Scenario[T]) []Result
 				// Writes are disjoint: worker goroutines only ever touch
 				// results[i] for indices they pulled from the channel.
 				results[i] = runPoint(ctx, cfg, i, fn)
+				sweep.RecordPoint(i, results[i].Elapsed)
 			}
 		}()
 	}
 	wg.Wait()
+	sweep.Finish()
 	return results
 }
 
@@ -154,7 +158,7 @@ func runPoint[T any](ctx context.Context, cfg Config, i int, fn Scenario[T]) Res
 		defer cancel()
 	}
 
-	start := time.Now() //lint:allow simdeterminism Elapsed measures real wall time of the point, not simulated time
+	sw := obs.StartTimer()
 	done := make(chan Result[T], 1)
 	go func() {
 		r := Result[T]{Index: i}
@@ -181,7 +185,7 @@ func runPoint[T any](ctx context.Context, cfg Config, i int, fn Scenario[T]) Res
 		res = <-done
 	}
 	res.Index = i
-	res.Elapsed = time.Since(start) //lint:allow simdeterminism Elapsed is a wall-clock runtime report, outside the simulated timeline
+	res.Elapsed = sw.Elapsed()
 	return res
 }
 

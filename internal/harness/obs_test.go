@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mltcp/internal/obs"
+)
+
+// TestSweepSelfMetricsRecorded checks that a harness run under an obs
+// collector reports the sweep's shape, per-point wall times, and a sane
+// utilization — and that Elapsed and the recorded point walls come from
+// the same clock (they are the same measurement).
+func TestSweepSelfMetricsRecorded(t *testing.T) {
+	col := obs.NewCollector()
+	ctx := obs.WithCollector(context.Background(), col)
+	const n = 6
+	results := Run(ctx, Config{Workers: 3}, n, func(ctx context.Context, pt Point) (int, error) {
+		time.Sleep(time.Millisecond)
+		return pt.Index, nil
+	})
+
+	sweeps := col.Sweeps()
+	if len(sweeps) != 1 {
+		t.Fatalf("collector recorded %d sweeps, want 1", len(sweeps))
+	}
+	s := sweeps[0]
+	if s.Points != n || s.Workers != 3 {
+		t.Fatalf("sweep shape %+v", s)
+	}
+	if s.Wall <= 0 {
+		t.Fatalf("sweep wall %v", s.Wall)
+	}
+	if len(s.PointWall) != n {
+		t.Fatalf("recorded %d point walls, want %d", len(s.PointWall), n)
+	}
+	for i, r := range results {
+		if r.Elapsed <= 0 {
+			t.Fatalf("point %d Elapsed = %v", i, r.Elapsed)
+		}
+		if s.PointWall[i] != r.Elapsed {
+			t.Fatalf("point %d: sweep recorded %v, result reports %v — not the same measurement",
+				i, s.PointWall[i], r.Elapsed)
+		}
+	}
+	if u := s.Utilization(); u <= 0 || u > 1.5 {
+		t.Fatalf("utilization %v outside sanity band", u)
+	}
+}
+
+// TestSweepWorkersClampRecorded pins that the recorded worker count is
+// the pool size actually used (clamped to n), not the configured one —
+// utilization would otherwise be understated on small grids.
+func TestSweepWorkersClampRecorded(t *testing.T) {
+	col := obs.NewCollector()
+	ctx := obs.WithCollector(context.Background(), col)
+	Run(ctx, Config{Workers: 64}, 2, func(ctx context.Context, pt Point) (int, error) {
+		return 0, nil
+	})
+	sweeps := col.Sweeps()
+	if len(sweeps) != 1 {
+		t.Fatalf("collector recorded %d sweeps, want 1", len(sweeps))
+	}
+	if got := sweeps[0].Workers; got != 2 {
+		t.Fatalf("recorded %d workers for a 2-point grid, want 2", got)
+	}
+}
+
+// TestRunWithoutCollectorStillTimes checks the no-collector path still
+// fills Result.Elapsed (the span is nil, the stopwatch is not).
+func TestRunWithoutCollectorStillTimes(t *testing.T) {
+	results := Run(context.Background(), Config{Workers: 1}, 1,
+		func(ctx context.Context, pt Point) (int, error) {
+			time.Sleep(time.Millisecond)
+			return 0, nil
+		})
+	if results[0].Elapsed <= 0 {
+		t.Fatalf("Elapsed = %v without a collector", results[0].Elapsed)
+	}
+}

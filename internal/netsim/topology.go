@@ -49,6 +49,28 @@ type Dumbbell struct {
 	// carries ACKs back.
 	Forward *Link
 	Reverse *Link
+
+	// links holds every link in the topology, in construction order, so
+	// aggregate counters can be read without re-walking the wiring.
+	links []*Link
+}
+
+// Links returns every link in the topology, in construction order.
+func (d *Dumbbell) Links() []*Link { return d.links }
+
+// AggregateStats sums the cumulative counters of every link in the
+// topology — the whole-fabric packet and byte totals the self-metrics
+// layer reports per run.
+func (d *Dumbbell) AggregateStats() LinkStats {
+	var total LinkStats
+	for _, l := range d.links {
+		st := l.Stats()
+		total.PacketsSent += st.PacketsSent
+		total.PacketsDropped += st.PacketsDropped
+		total.PacketsLost += st.PacketsLost
+		total.BytesSent += st.BytesSent
+	}
+	return total
 }
 
 // NewDumbbell builds the topology and all routing state.
@@ -68,6 +90,7 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 	d := &Dumbbell{}
 	nextID := NodeID(0)
 	id := func() NodeID { nextID++; return nextID - 1 }
+	track := func(l *Link) *Link { d.links = append(d.links, l); return l }
 
 	d.LeftSwitch = NewSwitch(id(), "sw-left")
 	d.RightSwitch = NewSwitch(id(), "sw-right")
@@ -76,8 +99,8 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 	// right-to-left data (reverse-direction flows, e.g. a ring's return
 	// path) must not hide behind a deep edge queue, or forward ACKs
 	// queueing behind it would suffer ~100ms delays and spurious RTOs.
-	d.Forward = NewLink(eng, "bottleneck-fwd", cfg.BottleneckRate, cfg.BottleneckDelay, bnQueue(), d.RightSwitch)
-	d.Reverse = NewLink(eng, "bottleneck-rev", cfg.BottleneckRate, cfg.BottleneckDelay, bnQueue(), d.LeftSwitch)
+	d.Forward = track(NewLink(eng, "bottleneck-fwd", cfg.BottleneckRate, cfg.BottleneckDelay, bnQueue(), d.RightSwitch))
+	d.Reverse = track(NewLink(eng, "bottleneck-rev", cfg.BottleneckRate, cfg.BottleneckDelay, bnQueue(), d.LeftSwitch))
 
 	for i := 0; i < cfg.HostPairs; i++ {
 		lh := NewHost(id(), fmt.Sprintf("left-%d", i))
@@ -85,11 +108,11 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 		d.Left = append(d.Left, lh)
 		d.Right = append(d.Right, rh)
 
-		lh.SetUplink(NewLink(eng, lh.Name()+"-up", cfg.HostRate, cfg.HostDelay, edgeQueue(), d.LeftSwitch))
-		rh.SetUplink(NewLink(eng, rh.Name()+"-up", cfg.HostRate, cfg.HostDelay, edgeQueue(), d.RightSwitch))
+		lh.SetUplink(track(NewLink(eng, lh.Name()+"-up", cfg.HostRate, cfg.HostDelay, edgeQueue(), d.LeftSwitch)))
+		rh.SetUplink(track(NewLink(eng, rh.Name()+"-up", cfg.HostRate, cfg.HostDelay, edgeQueue(), d.RightSwitch)))
 
-		d.LeftSwitch.AddRoute(lh.ID(), NewLink(eng, lh.Name()+"-down", cfg.HostRate, cfg.HostDelay, edgeQueue(), lh))
-		d.RightSwitch.AddRoute(rh.ID(), NewLink(eng, rh.Name()+"-down", cfg.HostRate, cfg.HostDelay, edgeQueue(), rh))
+		d.LeftSwitch.AddRoute(lh.ID(), track(NewLink(eng, lh.Name()+"-down", cfg.HostRate, cfg.HostDelay, edgeQueue(), lh)))
+		d.RightSwitch.AddRoute(rh.ID(), track(NewLink(eng, rh.Name()+"-down", cfg.HostRate, cfg.HostDelay, edgeQueue(), rh)))
 
 		// Cross-bottleneck routes.
 		d.LeftSwitch.AddRoute(rh.ID(), d.Forward)

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// BenchSchema is the BENCH.json format version, bumped on any
+// incompatible change to the point or file encodings.
+const BenchSchema = 1
+
+// BenchPoint is one benchmark suite point's measured outcome. Field order
+// is the canonical serialization order; wall-derived fields vary between
+// machines while events, allocation counts, heap depth, and the
+// convergence diagnostics are deterministic functions of (scenario, seed).
+type BenchPoint struct {
+	// Name identifies the point within the suite ("packet/two-gpt2").
+	Name string `json:"name"`
+	// Backend is the fidelity the point ran at.
+	Backend string `json:"backend"`
+	// Jobs and DurationSec echo the scenario shape.
+	Jobs        int     `json:"jobs"`
+	DurationSec float64 `json:"duration_sec"`
+	// Reps is how many timed repetitions the measurements aggregate.
+	Reps int `json:"reps"`
+	// WallNSMin and WallNSMean summarize per-rep wall time (min is the
+	// regression-gated figure: least-noise estimate of the true cost).
+	WallNSMin  int64 `json:"wall_ns_min"`
+	WallNSMean int64 `json:"wall_ns_mean"`
+	// Events is the per-op scheduler work (engine events fired / fluid
+	// integration steps) — deterministic for a fixed (scenario, seed).
+	Events uint64 `json:"events"`
+	// EventsPerSec and SimWallRatio are derived from the fastest rep.
+	EventsPerSec float64 `json:"events_per_sec"`
+	SimWallRatio float64 `json:"sim_wall_ratio"`
+	// AllocsPerOp and AllocBytesPerOp are the smallest per-rep allocation
+	// deltas (min strips GC-timing noise, which only ever adds).
+	AllocsPerOp     uint64 `json:"allocs_per_op"`
+	AllocBytesPerOp uint64 `json:"alloc_bytes_per_op"`
+	// PeakHeapBytes is the largest live-heap sample seen across reps.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// MaxHeapDepth is the deepest event heap observed (packet backend).
+	MaxHeapDepth int `json:"max_heap_depth,omitempty"`
+	// WorkerUtilization is the harness pool's busy fraction (sweep
+	// points only).
+	WorkerUtilization float64 `json:"worker_utilization,omitempty"`
+	// InterleavedAt and OverlapQuarters are the convergence diagnostics,
+	// recomputed from a traced run: the iteration from which every job
+	// holds its ideal iteration time (-1 = never), and the overlap score
+	// per quarter of the horizon.
+	InterleavedAt   int       `json:"interleaved_at"`
+	OverlapQuarters []float64 `json:"overlap_quarters,omitempty"`
+}
+
+// BenchFile is a complete BENCH.json: environment identity plus the
+// suite's points in suite order.
+type BenchFile struct {
+	Schema     int          `json:"schema"`
+	Suite      string       `json:"suite"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Revision   string       `json:"revision,omitempty"`
+	Points     []BenchPoint `json:"points"`
+}
+
+// WriteBench serializes the file as indented JSON. Encoding is
+// struct-driven, so field order — and therefore the byte stream for equal
+// values — is stable.
+func WriteBench(w io.Writer, f *BenchFile) error {
+	if f.Schema == 0 {
+		f.Schema = BenchSchema
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadBench decodes a BENCH.json written by WriteBench, rejecting
+// unknown schema versions.
+func ReadBench(r io.Reader) (*BenchFile, error) {
+	f := &BenchFile{}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(f); err != nil {
+		return nil, fmt.Errorf("obs: bench file: %w", err)
+	}
+	if f.Schema != BenchSchema {
+		return nil, fmt.Errorf("obs: bench file schema %d, this build reads %d", f.Schema, BenchSchema)
+	}
+	return f, nil
+}
+
+// benchMetric is one gated or informational comparison dimension.
+type benchMetric struct {
+	name string
+	get  func(BenchPoint) float64
+	// higherIsBetter flips the regression direction.
+	higherIsBetter bool
+	// gated metrics fail the comparison past the gate; ungated ones are
+	// derived views (events/sec mirrors wall + events) reported for the
+	// trajectory but never double-counted as failures.
+	gated bool
+}
+
+// interleaveValue maps InterleavedAt onto a comparable scale: -1 ("never
+// within the horizon") is worse than any finite iteration index.
+func interleaveValue(p BenchPoint) float64 {
+	if p.InterleavedAt < 0 {
+		return math.Inf(1)
+	}
+	return float64(p.InterleavedAt)
+}
+
+var benchMetrics = []benchMetric{
+	{name: "wall_ns_min", get: func(p BenchPoint) float64 { return float64(p.WallNSMin) }, gated: true},
+	{name: "allocs_per_op", get: func(p BenchPoint) float64 { return float64(p.AllocsPerOp) }, gated: true},
+	{name: "alloc_bytes_per_op", get: func(p BenchPoint) float64 { return float64(p.AllocBytesPerOp) }, gated: true},
+	{name: "peak_heap_bytes", get: func(p BenchPoint) float64 { return float64(p.PeakHeapBytes) }, gated: true},
+	{name: "max_heap_depth", get: func(p BenchPoint) float64 { return float64(p.MaxHeapDepth) }, gated: true},
+	{name: "interleaved_at", get: interleaveValue, gated: true},
+	{name: "events_per_sec", get: func(p BenchPoint) float64 { return p.EventsPerSec }, higherIsBetter: true},
+	{name: "sim_wall_ratio", get: func(p BenchPoint) float64 { return p.SimWallRatio }, higherIsBetter: true},
+}
+
+// Delta is one (point, metric) comparison. Change is the fractional
+// movement in the regression direction: +0.25 means 25% worse, negative
+// means improved.
+type Delta struct {
+	Point  string
+	Metric string
+	Old    float64
+	New    float64
+	Change float64
+}
+
+// CompareReport is a full old-vs-new diff of two bench files.
+type CompareReport struct {
+	// Deltas holds every compared (point, metric), in suite order.
+	Deltas []Delta
+	// Warnings are gated deltas past the warn threshold but within the
+	// gate; Regressions are past the gate and fail the comparison.
+	Warnings    []Delta
+	Regressions []Delta
+	// MissingPoints are suite points present in old but absent from new —
+	// treated as regressions (silently dropping a benchmark would let its
+	// trajectory rot). NewPoints is the reverse, informational.
+	MissingPoints []string
+	NewPoints     []string
+}
+
+// Failed reports whether the comparison should gate a build.
+func (r *CompareReport) Failed() bool {
+	return len(r.Regressions) > 0 || len(r.MissingPoints) > 0
+}
+
+// regressionChange returns the fractional movement in the worse
+// direction, handling zero and infinite baselines.
+func regressionChange(oldV, newV float64, higherIsBetter bool) float64 {
+	if higherIsBetter {
+		oldV, newV = -oldV, -newV // regress when the value falls
+	}
+	switch {
+	case math.IsInf(oldV, 1):
+		if math.IsInf(newV, 1) {
+			return 0
+		}
+		return math.Inf(-1) // from "never" to finite: pure improvement
+	case math.IsInf(newV, 1):
+		return math.Inf(1)
+	case oldV == 0:
+		if newV <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (newV - oldV) / math.Abs(oldV)
+}
+
+// Compare diffs two bench files: every gated metric whose change exceeds
+// gate becomes a regression, changes past warn become warnings. Schema
+// mismatches and non-positive thresholds are errors.
+func Compare(oldF, newF *BenchFile, warn, gate float64) (*CompareReport, error) {
+	if oldF.Schema != newF.Schema {
+		return nil, fmt.Errorf("obs: comparing schema %d against %d", oldF.Schema, newF.Schema)
+	}
+	if warn <= 0 || gate <= 0 || warn > gate {
+		return nil, fmt.Errorf("obs: need 0 < warn (%v) <= gate (%v)", warn, gate)
+	}
+	newByName := make(map[string]BenchPoint, len(newF.Points))
+	for _, p := range newF.Points {
+		newByName[p.Name] = p
+	}
+	oldByName := make(map[string]BenchPoint, len(oldF.Points))
+	rep := &CompareReport{}
+	for _, op := range oldF.Points {
+		oldByName[op.Name] = op
+		np, ok := newByName[op.Name]
+		if !ok {
+			rep.MissingPoints = append(rep.MissingPoints, op.Name)
+			continue
+		}
+		for _, m := range benchMetrics {
+			d := Delta{
+				Point:  op.Name,
+				Metric: m.name,
+				Old:    m.get(op),
+				New:    m.get(np),
+			}
+			d.Change = regressionChange(d.Old, d.New, m.higherIsBetter)
+			rep.Deltas = append(rep.Deltas, d)
+			if !m.gated {
+				continue
+			}
+			switch {
+			case d.Change > gate:
+				rep.Regressions = append(rep.Regressions, d)
+			case d.Change > warn:
+				rep.Warnings = append(rep.Warnings, d)
+			}
+		}
+	}
+	for _, np := range newF.Points {
+		if _, ok := oldByName[np.Name]; !ok {
+			rep.NewPoints = append(rep.NewPoints, np.Name)
+		}
+	}
+	return rep, nil
+}

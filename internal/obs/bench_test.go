@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func samplePoint(name string) BenchPoint {
+	return BenchPoint{
+		Name:            name,
+		Backend:         "packet",
+		Jobs:            2,
+		DurationSec:     20,
+		Reps:            3,
+		WallNSMin:       1_000_000_000,
+		WallNSMean:      1_100_000_000,
+		Events:          500_000,
+		EventsPerSec:    500_000,
+		SimWallRatio:    20,
+		AllocsPerOp:     10_000,
+		AllocBytesPerOp: 4_000_000,
+		PeakHeapBytes:   8_000_000,
+		MaxHeapDepth:    120,
+		InterleavedAt:   4,
+		OverlapQuarters: []float64{0.8, 0.3, 0.05, 0},
+	}
+}
+
+func sampleFile() *BenchFile {
+	return &BenchFile{
+		Schema:     BenchSchema,
+		Suite:      "test-suite",
+		GoVersion:  "go-test",
+		GOMAXPROCS: 8,
+		Points:     []BenchPoint{samplePoint("packet/two-gpt2"), samplePoint("fluid/two-gpt2")},
+	}
+}
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	written := append([]byte(nil), buf.Bytes()...)
+	got, err := ReadBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip diverged:\nwrote %+v\nread  %+v", f, got)
+	}
+
+	// Equal values must serialize to equal bytes — the deterministic-schema
+	// property that makes BENCH.json diffable.
+	var again bytes.Buffer
+	if err := WriteBench(&again, sampleFile()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(written, again.Bytes()) {
+		t.Fatal("equal files serialized to different bytes")
+	}
+}
+
+func TestReadBenchRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadBench(strings.NewReader(`{"schema": 999, "points": []}`)); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if _, err := ReadBench(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}
+
+func TestCompareIdenticalFilesPass(t *testing.T) {
+	rep, err := Compare(sampleFile(), sampleFile(), 0.10, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() || len(rep.Warnings) != 0 {
+		t.Fatalf("identical files reported %d regressions, %d warnings",
+			len(rep.Regressions), len(rep.Warnings))
+	}
+	if len(rep.Deltas) != 2*len(benchMetrics) {
+		t.Fatalf("got %d deltas, want %d", len(rep.Deltas), 2*len(benchMetrics))
+	}
+}
+
+func TestCompareFlagsRegressionPastGate(t *testing.T) {
+	oldF, newF := sampleFile(), sampleFile()
+	newF.Points[0].WallNSMin = oldF.Points[0].WallNSMin * 13 / 10 // +30%
+	rep, err := Compare(oldF, newF, 0.10, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("+30% wall time passed the 20% gate")
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "wall_ns_min" {
+		t.Fatalf("regressions = %+v", rep.Regressions)
+	}
+	if got := rep.Regressions[0].Change; math.Abs(got-0.30) > 0.01 {
+		t.Fatalf("change = %v, want ~0.30", got)
+	}
+}
+
+func TestCompareWarnsBetweenThresholds(t *testing.T) {
+	oldF, newF := sampleFile(), sampleFile()
+	newF.Points[1].AllocsPerOp = oldF.Points[1].AllocsPerOp * 115 / 100 // +15%
+	rep, err := Compare(oldF, newF, 0.10, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatal("+15% allocs failed the 20% gate")
+	}
+	if len(rep.Warnings) != 1 || rep.Warnings[0].Metric != "allocs_per_op" {
+		t.Fatalf("warnings = %+v", rep.Warnings)
+	}
+}
+
+func TestCompareHigherIsBetterDirection(t *testing.T) {
+	oldF, newF := sampleFile(), sampleFile()
+	// events_per_sec falling 30% is a (reported, ungated) regression
+	// direction; rising 30% is an improvement.
+	newF.Points[0].EventsPerSec = oldF.Points[0].EventsPerSec * 0.7
+	rep, err := Compare(oldF, newF, 0.10, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatal("ungated metric gated the comparison")
+	}
+	var found bool
+	for _, d := range rep.Deltas {
+		if d.Point == newF.Points[0].Name && d.Metric == "events_per_sec" {
+			found = true
+			if math.Abs(d.Change-0.30) > 0.01 {
+				t.Fatalf("falling throughput change = %v, want ~+0.30", d.Change)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("events_per_sec delta missing")
+	}
+}
+
+func TestCompareInterleaveNeverIsWorst(t *testing.T) {
+	oldF, newF := sampleFile(), sampleFile()
+	newF.Points[0].InterleavedAt = -1
+	rep, err := Compare(oldF, newF, 0.10, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("convergence lost (interleaved_at -1) passed the gate")
+	}
+
+	// The reverse — from never to converged — is an improvement.
+	oldF.Points[0].InterleavedAt = -1
+	newF.Points[0].InterleavedAt = 4
+	rep, err = Compare(oldF, newF, 0.10, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatal("convergence gained reported as regression")
+	}
+}
+
+func TestCompareMissingPointFails(t *testing.T) {
+	oldF, newF := sampleFile(), sampleFile()
+	newF.Points = newF.Points[:1]
+	rep, err := Compare(oldF, newF, 0.10, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() || len(rep.MissingPoints) != 1 {
+		t.Fatalf("dropped point not flagged: %+v", rep)
+	}
+
+	// Extra points in new are informational only.
+	rep, err = Compare(newF, oldF, 0.10, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() || len(rep.NewPoints) != 1 {
+		t.Fatalf("new point mishandled: %+v", rep)
+	}
+}
+
+func TestCompareRejectsBadInputs(t *testing.T) {
+	a, b := sampleFile(), sampleFile()
+	b.Schema = 2
+	if _, err := Compare(a, b, 0.10, 0.20); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+	b.Schema = BenchSchema
+	if _, err := Compare(a, b, 0.30, 0.20); err == nil {
+		t.Fatal("warn > gate accepted")
+	}
+	if _, err := Compare(a, b, 0, 0.20); err == nil {
+		t.Fatal("zero warn accepted")
+	}
+}
+
+func TestRegressionChangeZeroBaseline(t *testing.T) {
+	if got := regressionChange(0, 0, false); got != 0 {
+		t.Fatalf("0→0 change = %v", got)
+	}
+	if got := regressionChange(0, 5, false); !math.IsInf(got, 1) {
+		t.Fatalf("0→5 change = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import "time"
+
+// This file is the repository's one sanctioned wall-clock read. Simulation
+// code is forbidden from touching the wall clock (the simdeterminism
+// analyzer enforces it), but runtime self-measurement — how long a grid
+// point or a backend run took in real time — has to read it somewhere.
+// Concentrating that read behind a single suppressed call site means every
+// wall measurement in the tree flows through one monotonic source: there is
+// no second clock to drift against, and no second //lint:allow to audit.
+
+// now returns the current wall-clock instant, carrying Go's monotonic
+// reading so differences are immune to wall-clock steps (NTP slews,
+// suspend/resume).
+func now() time.Time {
+	return time.Now() //lint:allow simdeterminism the single sanctioned monotonic-clock read; all wall timing (harness Elapsed, bench spans) flows through obs
+}
+
+// Stopwatch measures elapsed wall time from a fixed start instant. The
+// zero Stopwatch is invalid; obtain one from StartTimer.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartTimer starts a stopwatch at the current instant.
+func StartTimer() Stopwatch { return Stopwatch{start: now()} }
+
+// Elapsed returns the wall time since the stopwatch started. Successive
+// calls are monotonically non-decreasing (the monotonic reading in the
+// start instant guarantees it).
+func (s Stopwatch) Elapsed() time.Duration { return now().Sub(s.start) }

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+// MemSnapshot is a point-in-time view of the process allocator, taken with
+// runtime.ReadMemStats. Two snapshots bracket a measured region; their
+// difference is the region's allocation cost.
+type MemSnapshot struct {
+	// TotalAllocBytes is the cumulative bytes allocated on the heap.
+	TotalAllocBytes uint64
+	// Mallocs is the cumulative count of heap objects allocated.
+	Mallocs uint64
+	// HeapAllocBytes is the bytes of live (reachable + not-yet-swept)
+	// heap objects at the snapshot instant.
+	HeapAllocBytes uint64
+	// GCCycles is the number of completed GC cycles.
+	GCCycles uint32
+}
+
+// ReadMem takes a memory snapshot. It stops the world briefly; call it at
+// measured-region boundaries, not inside hot loops.
+func ReadMem() MemSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemSnapshot{
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		HeapAllocBytes:  ms.HeapAlloc,
+		GCCycles:        ms.NumGC,
+	}
+}
+
+// liveHeapSample is the runtime/metrics gauge used for cheap mid-run peak
+// tracking: bytes of live heap objects. Unlike ReadMemStats it does not
+// stop the world, so run spans can sample it at every chunk boundary.
+var liveHeapSample = []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+
+// LiveHeapBytes reads the live-heap gauge from runtime/metrics (0 when the
+// runtime does not export it).
+func LiveHeapBytes() uint64 {
+	s := make([]metrics.Sample, 1)
+	copy(s, liveHeapSample)
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}

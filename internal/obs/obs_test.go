@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mltcp/internal/sim"
+)
+
+func TestStopwatchMonotonic(t *testing.T) {
+	sw := StartTimer()
+	first := sw.Elapsed()
+	if first < 0 {
+		t.Fatalf("negative elapsed %v", first)
+	}
+	for i := 0; i < 100; i++ {
+		next := sw.Elapsed()
+		if next < first {
+			t.Fatalf("elapsed went backwards: %v then %v", first, next)
+		}
+		first = next
+	}
+}
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	if got := c.Runs(); got != nil {
+		t.Fatalf("nil collector Runs = %v", got)
+	}
+	if got := c.Sweeps(); got != nil {
+		t.Fatalf("nil collector Sweeps = %v", got)
+	}
+	// Every span method must be callable on the nil spans a nil collector
+	// hands out.
+	span := c.StartRun("fluid")
+	span.Heartbeat(10)
+	span.AddLinkTotals(1, 2, 3)
+	span.Finish(100, sim.Second)
+	sweep := c.StartSweep(4, 2)
+	sweep.RecordPoint(0, time.Millisecond)
+	sweep.Finish()
+}
+
+func TestRunSpanRecordsStats(t *testing.T) {
+	c := NewCollector()
+	span := c.StartRun("packet")
+	span.Heartbeat(7)
+	span.Heartbeat(3) // smaller sample must not lower the max
+	span.AddLinkTotals(100, 2, 150000)
+	// Allocate something attributable between the span's snapshots.
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 4096)
+	}
+	span.Finish(12345, 20*sim.Second)
+	_ = sink
+
+	runs := c.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	r := runs[0]
+	if r.Backend != "packet" || r.Events != 12345 || r.SimDuration != 20*sim.Second {
+		t.Fatalf("run stats %+v", r)
+	}
+	if r.MaxHeapDepth != 7 {
+		t.Fatalf("MaxHeapDepth = %d, want 7", r.MaxHeapDepth)
+	}
+	if r.PacketsSent != 100 || r.PacketsDropped != 2 || r.BytesSent != 150000 {
+		t.Fatalf("link totals %+v", r)
+	}
+	if r.Wall <= 0 {
+		t.Fatalf("Wall = %v", r.Wall)
+	}
+	if r.Allocs == 0 || r.AllocBytes == 0 {
+		t.Fatalf("allocation deltas empty: %+v", r)
+	}
+	if r.PeakHeapBytes == 0 {
+		t.Fatal("peak heap never sampled")
+	}
+	if r.EventsPerSec() <= 0 || r.SimWallRatio() <= 0 {
+		t.Fatalf("derived rates: events/s=%v ratio=%v", r.EventsPerSec(), r.SimWallRatio())
+	}
+}
+
+func TestRunStatsZeroWallRates(t *testing.T) {
+	var r RunStats
+	if r.EventsPerSec() != 0 || r.SimWallRatio() != 0 {
+		t.Fatal("unmeasured run must report zero rates")
+	}
+}
+
+func TestSweepSpanUtilization(t *testing.T) {
+	c := NewCollector()
+	span := c.StartSweep(4, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			span.RecordPoint(i, time.Duration(i+1)*time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	span.RecordPoint(99, time.Second) // out of range: ignored, not a panic
+	span.Finish()
+
+	sweeps := c.Sweeps()
+	if len(sweeps) != 1 {
+		t.Fatalf("got %d sweeps, want 1", len(sweeps))
+	}
+	s := sweeps[0]
+	if s.Points != 4 || s.Workers != 2 {
+		t.Fatalf("sweep shape %+v", s)
+	}
+	if want := 10 * time.Millisecond; s.BusyTime() != want {
+		t.Fatalf("BusyTime = %v, want %v", s.BusyTime(), want)
+	}
+	if s.Wall <= 0 {
+		t.Fatalf("Wall = %v", s.Wall)
+	}
+	if u := s.Utilization(); u <= 0 {
+		t.Fatalf("Utilization = %v", u)
+	}
+}
+
+func TestSweepStatsZeroValues(t *testing.T) {
+	var s SweepStats
+	if s.Utilization() != 0 {
+		t.Fatal("empty sweep must report zero utilization")
+	}
+	fixed := SweepStats{Points: 2, Workers: 2, Wall: time.Second,
+		PointWall: []time.Duration{time.Second, time.Second}}
+	if u := fixed.Utilization(); u != 1 {
+		t.Fatalf("fully busy pool utilization = %v, want 1", u)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context carries a collector")
+	}
+	c := NewCollector()
+	ctx := WithCollector(context.Background(), c)
+	if FromContext(ctx) != c {
+		t.Fatal("collector lost in the context")
+	}
+}
+
+func TestReadMemAndLiveHeap(t *testing.T) {
+	before := ReadMem()
+	sink := make([][]byte, 256)
+	for i := range sink {
+		sink[i] = make([]byte, 1024)
+	}
+	after := ReadMem()
+	_ = sink
+	if after.TotalAllocBytes <= before.TotalAllocBytes {
+		t.Fatal("TotalAllocBytes did not grow across allocations")
+	}
+	if after.Mallocs <= before.Mallocs {
+		t.Fatal("Mallocs did not grow across allocations")
+	}
+	if LiveHeapBytes() == 0 {
+		t.Fatal("live-heap gauge unavailable")
+	}
+}
+
+func TestProfileHooks(t *testing.T) {
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	p, err := StartCPUProfile(cpuPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if (*CPUProfile)(nil).Stop() != nil { // nil-safe
+		t.Fatal("nil profile Stop errored")
+	}
+	if fi, err := os.Stat(cpuPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile not written: %v", err)
+	}
+
+	heapPath := filepath.Join(dir, "heap.pprof")
+	if err := WriteHeapProfile(heapPath); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(heapPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+	if _, err := StartCPUProfile(filepath.Join(dir, "missing", "cpu.pprof")); err == nil {
+		t.Fatal("unwritable cpu profile path accepted")
+	}
+	if err := WriteHeapProfile(filepath.Join(dir, "missing", "heap.pprof")); err == nil {
+		t.Fatal("unwritable heap profile path accepted")
+	}
+}

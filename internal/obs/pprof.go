@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiling hooks. Like the rest of obs these are out-of-band: profiling
+// perturbs wall time but never simulation state, so a profiled run's
+// traces and Results are identical to an unprofiled run's.
+
+// CPUProfile is an in-flight CPU capture started by StartCPUProfile.
+type CPUProfile struct {
+	f *os.File
+}
+
+// StartCPUProfile begins writing a CPU profile to path. Only one CPU
+// profile can be active per process; callers own the returned handle and
+// must Stop it.
+func StartCPUProfile(path string) (*CPUProfile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return &CPUProfile{f: f}, nil
+}
+
+// Stop ends the capture and closes the profile file. Safe on a nil
+// receiver and idempotent.
+func (p *CPUProfile) Stop() error {
+	if p == nil || p.f == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	err := p.f.Close()
+	p.f = nil
+	return err
+}
+
+// WriteHeapProfile runs a GC (so the profile reflects live objects, not
+// garbage awaiting collection) and writes the heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return f.Close()
+}

@@ -167,6 +167,7 @@ type Recorder struct {
 	sink     Sink
 	every    sim.Time
 	last     map[limitKey]sim.Time
+	limDrops int64
 	reg      *Registry
 	manifest *Manifest
 }
@@ -247,10 +248,21 @@ func (r *Recorder) sampled(kind Kind, flow int, at sim.Time) bool {
 	k := limitKey{kind, flow}
 	last, seen := r.last[k]
 	if seen && at-last < r.every {
+		r.limDrops++
 		return false
 	}
 	r.last[k] = at
 	return true
+}
+
+// DroppedByLimiter returns how many high-rate emissions the sampling
+// limiter suppressed — the denominator context for reading a trace's
+// cwnd/agg density (0 on a nil Recorder).
+func (r *Recorder) DroppedByLimiter() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.limDrops
 }
 
 // CwndUpdate records a congestion-window sample (rate-limited per flow).
