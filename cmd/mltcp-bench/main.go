@@ -1,5 +1,6 @@
 // Command mltcp-bench measures the simulator itself: it runs a pinned
-// scenario suite (both fidelities plus a harness sweep), collects
+// scenario suite (both fidelities, a cluster-scale fabric, and a
+// harness sweep), collects
 // self-metrics through internal/obs — events/sec, sim/wall ratio,
 // allocs/op, peak heap, event-heap depth, worker utilization — together
 // with convergence diagnostics recomputed from traces, and writes a

@@ -35,9 +35,19 @@ func scenario(name string, durationSec float64, profiles ...string) *config.Scen
 	return scn
 }
 
+// clusterPoint builds the cluster suite scenario: a Poisson job trace on
+// a fat-tree fabric, the only point exercising the multi-bottleneck
+// max-min allocator and the ECMP path compiler. The trace shape is
+// pinned by the generator seed, so the point's event and allocation
+// counts are as stable as the hand-written scenarios'.
+func clusterPoint(o experiments.ClusterOpts) *config.Scenario {
+	return experiments.ClusterScenario(o)
+}
+
 // fullSuite is the pinned scenario grid: both fidelities, job counts
-// scaling 2→8, one mixed-model point, and one harness sweep. Names are
-// the comparison keys — renaming a point orphans its trajectory.
+// scaling 2→8, one mixed-model point, one cluster-scale fabric point,
+// and one harness sweep. Names are the comparison keys — renaming a
+// point orphans its trajectory.
 func fullSuite() []suitePoint {
 	return []suitePoint{
 		{name: "fluid/two-gpt2", backendName: backend.NameFluid,
@@ -51,6 +61,8 @@ func fullSuite() []suitePoint {
 			scenario: scenario("bench-packet-two-gpt2", 20, "gpt2", "gpt2")},
 		{name: "packet/four-gpt2", backendName: backend.NamePacket,
 			scenario: scenario("bench-packet-four-gpt2", 20, "gpt2", "gpt2", "gpt2", "gpt2")},
+		{name: "cluster/fattree8-100j", backendName: backend.NameFluid,
+			scenario: clusterPoint(experiments.ClusterOpts{Seed: 11})},
 		{name: "sweep/fluid-two-gpt2-x8", backendName: backend.NameFluid,
 			scenario:  scenario("bench-sweep-fluid-two-gpt2", 120, "gpt2", "gpt2"),
 			sweepRuns: 8},
@@ -58,13 +70,23 @@ func fullSuite() []suitePoint {
 }
 
 // quickSuite is a seconds-fast subset with the same shape (both
-// fidelities plus a sweep), used by -quick and the command's own tests.
+// fidelities, a cluster fabric, and a sweep), used by -quick and the
+// command's own tests.
 func quickSuite() []suitePoint {
 	return []suitePoint{
 		{name: "fluid/two-gpt2", backendName: backend.NameFluid,
 			scenario: scenario("bench-fluid-two-gpt2", 30, "gpt2", "gpt2")},
 		{name: "packet/two-gpt2", backendName: backend.NamePacket,
 			scenario: scenario("bench-packet-two-gpt2", 5, "gpt2", "gpt2")},
+		{name: "cluster/fattree4-24j", backendName: backend.NameFluid,
+			scenario: clusterPoint(experiments.ClusterOpts{
+				Topology:          &config.Topology{Kind: config.KindFatTree, K: 4},
+				Jobs:              24,
+				ArrivalRatePerSec: 8,
+				MeanIters:         8,
+				DurationSec:       10,
+				Seed:              11,
+			})},
 		{name: "sweep/fluid-two-gpt2-x4", backendName: backend.NameFluid,
 			scenario:  scenario("bench-sweep-fluid-two-gpt2", 30, "gpt2", "gpt2"),
 			sweepRuns: 4},

@@ -9,7 +9,8 @@
 //	mltcp-figures -fig 2c         # one panel
 //	mltcp-figures -fig 3 -csv     # CSV series on stdout
 //
-// Figures: 1, 2a, 2b, 2c, 3, 4, 5, 6, noise, fairness, multires.
+// Figures: 1, 2a, 2b, 2c, 3, 4, 5, 6, noise, fairness, multires, sweep,
+// scale, fct, mixed, robust, churn, compare, hetero, cluster.
 package main
 
 import (
@@ -110,6 +111,7 @@ func main() {
 		"churn":    churn,
 		"compare":  compare,
 		"hetero":   hetero,
+		"cluster":  cluster,
 	}
 	var keys []string
 	for k := range figs {
@@ -536,6 +538,47 @@ func hetero() {
 		XLabel: "cwnd sample (50ms min spacing)", YLabel: "cwnd (packets)",
 		Series: toSVGSeries(series),
 	})
+}
+
+// cluster runs the standard 100-job Poisson fat-tree trace — the
+// cluster-scale setting where per-bottleneck self-interleaving has to add
+// up to a fabric-wide effect — once per scheme and reports the pairwise
+// overlap split by whether the two jobs share a fabric link. MLTCP should
+// drive the shared-pair overlap below plain reno's; disjoint pairs never
+// contend and serve as the control group.
+func cluster() {
+	scn := experiments.ClusterScenario(experiments.ClusterOpts{Seed: 11})
+	var rows [][]string
+	for pi, policy := range []string{"mltcp", "reno"} {
+		s := *scn
+		s.Policy = policy
+		res, err := (&backend.Fluid{}).Run(context.Background(), &s, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		c := res.Cluster
+		if pi == 0 {
+			fmt.Printf("cluster: %s — %d jobs on %s (%d racks, %d links)\n",
+				scn.Name, len(res.Jobs), c.Topology, c.Racks, c.Links)
+		}
+		departed := 0
+		for i, j := range res.Jobs {
+			if j.Iterations() >= s.Jobs[i].Iters {
+				departed++
+			}
+		}
+		rows = append(rows, []string{
+			policy,
+			fmt.Sprintf("%d", c.SharingPairs),
+			fmt.Sprintf("%.3f", c.SharedOverlap),
+			fmt.Sprintf("%d", c.DisjointPairs),
+			fmt.Sprintf("%.3f", c.DisjointOverlap),
+			fmt.Sprintf("%d/%d", departed, len(res.Jobs)),
+		})
+	}
+	fmt.Print(trace.Table([]string{"scheme", "sharing pairs", "shared overlap",
+		"disjoint pairs", "disjoint overlap", "departed"}, rows))
 }
 
 // compare runs the canonical two-job scenario at both fidelities through

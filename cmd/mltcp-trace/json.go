@@ -107,6 +107,28 @@ func writeJSON(w io.Writer, tr *telemetry.Trace, res *backend.Result, skip int) 
 	}
 	b = append(b, ']')
 
+	if c := res.Cluster; c != nil {
+		tb, err := json.Marshal(c.Topology)
+		if err != nil {
+			return err
+		}
+		b = append(b, `,"cluster":{"topology":`...)
+		b = append(b, tb...)
+		b = append(b, `,"racks":`...)
+		b = strconv.AppendInt(b, int64(c.Racks), 10)
+		b = append(b, `,"links":`...)
+		b = strconv.AppendInt(b, int64(c.Links), 10)
+		b = append(b, `,"sharing_pairs":`...)
+		b = strconv.AppendInt(b, int64(c.SharingPairs), 10)
+		b = append(b, `,"disjoint_pairs":`...)
+		b = strconv.AppendInt(b, int64(c.DisjointPairs), 10)
+		b = append(b, `,"shared_overlap":`...)
+		b = appendF(b, c.SharedOverlap)
+		b = append(b, `,"disjoint_overlap":`...)
+		b = appendF(b, c.DisjointOverlap)
+		b = append(b, '}')
+	}
+
 	if tr.Metrics != nil {
 		sb, err := json.Marshal(tr.Metrics)
 		if err != nil {

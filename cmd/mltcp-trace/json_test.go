@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"mltcp/internal/backend"
+	"mltcp/internal/config"
 	"mltcp/internal/telemetry"
 )
 
@@ -107,6 +110,70 @@ func TestJSONSummaryStableAndComplete(t *testing.T) {
 	}
 	if doc.Metrics == nil || doc.Metrics.Counters["job.iterations"] == 0 {
 		t.Fatalf("metrics snapshot missing or empty: %+v", doc.Metrics)
+	}
+}
+
+// TestJSONClusterRoundTrip pins the -json rendering of topology runs: the
+// cluster block round-trips the backend's ClusterResult exactly (floats
+// use the shortest exact representation, so decoding is lossless), and
+// dumbbell summaries omit the block entirely.
+func TestJSONClusterRoundTrip(t *testing.T) {
+	scn := &config.Scenario{
+		Name:        "cli-cluster",
+		Policy:      "mltcp",
+		DurationSec: 20,
+		Topology:    &config.Topology{Kind: config.KindFatTree, K: 4},
+		Jobs: []config.Job{
+			{Name: "A", Profile: "gpt2", SrcRack: "rack0", DstRack: "rack4"},
+			{Name: "B", Profile: "gpt2", SrcRack: "rack0", DstRack: "rack4"},
+			{Name: "C", Profile: "bert"},
+		},
+	}
+	rec, buf, reg := telemetry.NewBuffered(telemetry.Options{})
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+	res, err := (&backend.Fluid{}).Run(ctx, scn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if err := telemetry.Write(&trace, rec.Manifest(), buf.Events(), reg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cluster.jsonl")
+	if err := os.WriteFile(path, trace.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	summary := summarize(t, path)
+	var doc struct {
+		Cluster *struct {
+			Topology        string  `json:"topology"`
+			Racks           int     `json:"racks"`
+			Links           int     `json:"links"`
+			SharingPairs    int     `json:"sharing_pairs"`
+			DisjointPairs   int     `json:"disjoint_pairs"`
+			SharedOverlap   float64 `json:"shared_overlap"`
+			DisjointOverlap float64 `json:"disjoint_overlap"`
+		} `json:"cluster"`
+	}
+	if err := json.Unmarshal(summary, &doc); err != nil {
+		t.Fatal(err)
+	}
+	c := doc.Cluster
+	if c == nil {
+		t.Fatalf("topology summary has no cluster block: %s", summary)
+	}
+	want := res.Cluster
+	if c.Topology != want.Topology || c.Racks != want.Racks || c.Links != want.Links ||
+		c.SharingPairs != want.SharingPairs || c.DisjointPairs != want.DisjointPairs ||
+		c.SharedOverlap != want.SharedOverlap || c.DisjointOverlap != want.DisjointOverlap {
+		t.Fatalf("cluster block %+v does not round-trip %+v", c, want)
+	}
+
+	// Dumbbell runs must not grow the block.
+	dumbbell, _ := writeTestTrace(t)
+	if bytes.Contains(summarize(t, dumbbell), []byte(`"cluster"`)) {
+		t.Fatal("dumbbell summary contains a cluster block")
 	}
 }
 

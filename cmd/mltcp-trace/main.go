@@ -67,6 +67,10 @@ func run(path string) error {
 	printManifest(tr.Manifest)
 	fmt.Printf("interleaved-at=%d overlap=%.3f (recomputed from %d events)\n\n",
 		res.InterleavedAt, res.OverlapScore, len(tr.Events))
+	if c := res.Cluster; c != nil {
+		fmt.Printf("cluster: topology=%s racks=%d links=%d sharing-pairs=%d (overlap %.3f) disjoint-pairs=%d (overlap %.3f)\n\n",
+			c.Topology, c.Racks, c.Links, c.SharingPairs, c.SharedOverlap, c.DisjointPairs, c.DisjointOverlap)
+	}
 
 	printJobs(res)
 	printCongestion(tr)

@@ -188,6 +188,10 @@ func runOnce(b backend.Backend, scn *config.Scenario) error {
 	}
 	fmt.Printf("scenario=%s level=%s policy=%s capacity=%v duration=%v overlap=%.3f interleaved-at=%d\n",
 		res.Scenario, res.Backend, res.Policy, res.Capacity, res.Duration, res.OverlapScore, res.InterleavedAt)
+	if c := res.Cluster; c != nil {
+		fmt.Printf("cluster: topology=%s racks=%d links=%d sharing-pairs=%d (overlap %.3f) disjoint-pairs=%d (overlap %.3f)\n",
+			c.Topology, c.Racks, c.Links, c.SharingPairs, c.SharedOverlap, c.DisjointPairs, c.DisjointOverlap)
+	}
 	var rows [][]string
 	for _, j := range res.Jobs {
 		avg := j.SteadyIter(*skipFlag)

@@ -70,6 +70,12 @@ type JobResult struct {
 	// Bandwidth is the job's delivered rate in bits/second per trace
 	// bucket. Fluid backend with TraceBucket set only.
 	Bandwidth []float64
+	// SrcRack and DstRack name the job's fabric placement ("rack0"), and
+	// PathLinks the directed links its flow crosses, in path order.
+	// Topology scenarios only.
+	SrcRack   string
+	DstRack   string
+	PathLinks []string
 }
 
 // Iterations returns the number of completed communication phases.
@@ -125,6 +131,30 @@ type Result struct {
 	// ∫ max(k-1,0) dt / ∫ k dt for k = concurrently communicating jobs.
 	// 0 means fully interleaved; (n-1)/n means all n always collide.
 	OverlapScore float64
+	// Cluster summarizes fabric-wide structure for topology runs (nil for
+	// the single-bottleneck model).
+	Cluster *ClusterResult
+}
+
+// ClusterResult is the fabric-wide view of a topology run: which job
+// pairs contend for links, and how much of their communication actually
+// collides. MLTCP's promise is local — flows sharing a bottleneck
+// interleave — so the shared-pair overlap dropping while disjoint pairs
+// stay untouched is the cluster-scale signature the figures plot.
+type ClusterResult struct {
+	// Topology labels the fabric ("fattree-4"); Racks and Links are its
+	// rack and directed-link counts.
+	Topology string
+	Racks    int
+	Links    int
+	// SharingPairs and DisjointPairs count job pairs that do and do not
+	// cross at least one common fabric link.
+	SharingPairs  int
+	DisjointPairs int
+	// SharedOverlap and DisjointOverlap average the pairwise overlap
+	// score (second half of the horizon) over each class.
+	SharedOverlap   float64
+	DisjointOverlap float64
 }
 
 // InterleaveTol is the per-iteration tolerance (relative to ideal) used
@@ -227,6 +257,50 @@ func overlapScore(jobs []JobResult, from, until sim.Time) float64 {
 func finishResult(r *Result) {
 	r.InterleavedAt = interleavedAt(r.Jobs, InterleaveTol)
 	r.OverlapScore = overlapScore(r.Jobs, r.Duration/2, r.Duration)
+	finishCluster(r)
+}
+
+// finishCluster fills the pairwise cluster scores from the jobs' path
+// links and phase timelines. It runs over the same integer-nanosecond
+// data whether the Result came from a live run or ResultFromTrace, so
+// trace consumers recompute the scores exactly.
+func finishCluster(r *Result) {
+	c := r.Cluster
+	if c == nil {
+		return
+	}
+	c.SharingPairs, c.DisjointPairs = 0, 0
+	c.SharedOverlap, c.DisjointOverlap = 0, 0
+	from, until := r.Duration/2, r.Duration
+	for i := range r.Jobs {
+		onPath := make(map[string]bool, len(r.Jobs[i].PathLinks))
+		for _, l := range r.Jobs[i].PathLinks {
+			onPath[l] = true
+		}
+		for k := i + 1; k < len(r.Jobs); k++ {
+			shared := false
+			for _, l := range r.Jobs[k].PathLinks {
+				if onPath[l] {
+					shared = true
+					break
+				}
+			}
+			ov := overlapScore([]JobResult{r.Jobs[i], r.Jobs[k]}, from, until)
+			if shared {
+				c.SharingPairs++
+				c.SharedOverlap += ov
+			} else {
+				c.DisjointPairs++
+				c.DisjointOverlap += ov
+			}
+		}
+	}
+	if c.SharingPairs > 0 {
+		c.SharedOverlap /= float64(c.SharingPairs)
+	}
+	if c.DisjointPairs > 0 {
+		c.DisjointOverlap /= float64(c.DisjointPairs)
+	}
 }
 
 // centralOffsets runs the Cassini-style offline optimizer over the

@@ -37,6 +37,7 @@ func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Re
 		offsets = centralOffsets(specs, s.Capacity(), seed)
 	}
 
+	cl := compileCluster(&s, specs, seed)
 	agg := s.Agg()
 	jobs := make([]*fluid.Job, len(specs))
 	for i, spec := range specs {
@@ -44,7 +45,10 @@ func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Re
 		if offsets != nil {
 			spec.StartOffset = offsets[i]
 		}
-		jobs[i] = &fluid.Job{Spec: spec, Agg: agg}
+		jobs[i] = &fluid.Job{Spec: spec, Agg: agg, MaxIterations: spec.MaxIterations}
+		if cl != nil {
+			jobs[i].Path = cl.paths[i]
+		}
 	}
 
 	rec := telemetry.FromContext(ctx)
@@ -59,20 +63,35 @@ func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Re
 				Flow:         i + 1,
 				Name:         spec.Label(),
 				Profile:      spec.Profile.Name,
-				IdealNS:      int64(spec.Profile.IdealIterTime(s.Capacity())),
+				IdealNS:      int64(spec.Profile.IdealIterTime(cl.idealCap(i, s.Capacity()))),
 				BytesPerIter: int64(spec.Profile.CommBytes),
 			}
+			if cl != nil {
+				mjobs[i].SrcRack = fmt.Sprintf("rack%d", cl.placements[i].SrcRack)
+				mjobs[i].DstRack = fmt.Sprintf("rack%d", cl.placements[i].DstRack)
+				mjobs[i].Links = cl.pathNames[i]
+			}
 		}
-		rec.SetManifest(newManifest(&s, b.Name(), seed, s.Capacity(), 1, mjobs))
+		m := newManifest(&s, b.Name(), seed, s.Capacity(), 1, mjobs)
+		if cl != nil {
+			m.Topology = cl.fab.Kind
+			m.Racks = cl.fab.Racks()
+			m.FabricLinks = len(cl.fab.Links())
+		}
+		rec.SetManifest(m)
 	}
 
-	fsim := fluid.New(fluid.Config{
+	fcfg := fluid.Config{
 		Capacity:    s.Capacity(),
 		Policy:      s.FluidPolicy(),
 		Step:        b.Step,
 		TraceBucket: traceBucket,
 		Telemetry:   rec,
-	}, jobs)
+	}
+	if cl != nil {
+		fcfg.Network = cl.nw
+	}
+	fsim := fluid.New(fcfg, jobs)
 
 	// Integrate in chunks so a cancelled context (harness point timeout,
 	// ^C) aborts a long horizon promptly. The obs span is out-of-band:
@@ -99,7 +118,14 @@ func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Re
 		Scale:    1,
 		Duration: horizon,
 	}
-	for _, j := range jobs {
+	if cl != nil {
+		res.Cluster = &ClusterResult{
+			Topology: cl.fab.Kind,
+			Racks:    cl.fab.Racks(),
+			Links:    len(cl.fab.Links()),
+		}
+	}
+	for i, j := range jobs {
 		bytes := int64(j.Spec.Profile.CommBytes)
 		delivered := int64(len(j.CommEnds)) * bytes
 		if j.Communicating() {
@@ -108,12 +134,17 @@ func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Re
 		jr := JobResult{
 			Name:           j.Spec.Label(),
 			Profile:        j.Spec.Profile.Name,
-			Ideal:          j.Spec.Profile.IdealIterTime(s.Capacity()),
+			Ideal:          j.Spec.Profile.IdealIterTime(cl.idealCap(i, s.Capacity())),
 			BytesPerIter:   bytes,
 			DeliveredBytes: delivered,
 			CommStarts:     j.CommStarts,
 			CommEnds:       j.CommEnds,
 			IterTimes:      j.IterDurations,
+		}
+		if cl != nil {
+			jr.SrcRack = fmt.Sprintf("rack%d", cl.placements[i].SrcRack)
+			jr.DstRack = fmt.Sprintf("rack%d", cl.placements[i].DstRack)
+			jr.PathLinks = cl.pathNames[i]
 		}
 		for i := range j.CommEnds {
 			jr.FCTs = append(jr.FCTs, j.CommEnds[i]-j.CommStarts[i])

@@ -49,14 +49,15 @@ const minTrackerGap = 50 * sim.Millisecond
 // pktJob drives one sender through the compute/communicate loop and
 // records phase boundaries.
 type pktJob struct {
-	sender  *tcp.Sender
-	bytes   int64
-	compute sim.Time
-	noise   sim.Time
-	rng     *sim.RNG
-	trace   *tcp.CwndTrace
-	rec     *telemetry.Recorder
-	flow    int
+	sender   *tcp.Sender
+	bytes    int64
+	compute  sim.Time
+	noise    sim.Time
+	rng      *sim.RNG
+	trace    *tcp.CwndTrace
+	rec      *telemetry.Recorder
+	flow     int
+	maxIters int
 
 	starts, ends []sim.Time
 }
@@ -65,6 +66,9 @@ func (p *pktJob) start(eng *sim.Engine, offset sim.Time) {
 	p.sender.Drained(func(now sim.Time) {
 		p.ends = append(p.ends, now)
 		p.rec.IterEnd(now, p.flow, len(p.ends)-1, now-p.starts[len(p.ends)-1])
+		if p.maxIters > 0 && len(p.ends) >= p.maxIters {
+			return // the job departs after its configured iteration budget
+		}
 		compute := p.compute
 		if p.noise > 0 {
 			compute = p.rng.NormDuration(compute, p.noise, 0)
@@ -91,6 +95,10 @@ func (b *Packet) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*R
 		return nil, fmt.Errorf("backend: packet level does not implement policy %q; supported: %s, and centralized (%s are fluid-only)",
 			s.Policy, strings.Join(config.CCPolicyNames(), ", "),
 			strings.Join(config.FluidOnlyPolicyNames(), ", "))
+	}
+	if s.Topology != nil {
+		return nil, fmt.Errorf("backend: packet level renders only the dumbbell; run topology %q on the %s backend",
+			s.Topology.Label(), NameFluid)
 	}
 	if s.Centralized() {
 		base, ml = "reno", false // the optimizer schedules; transport is plain TCP
@@ -156,13 +164,14 @@ func (b *Packet) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*R
 		f := tcp.NewFlow(eng, netsim.FlowID(i+1), net.Left[i], net.Right[i],
 			cc, tcp.Config{ECN: ecn, Trace: rec})
 		jobs[i] = &pktJob{
-			sender:  f.Sender,
-			bytes:   bytes,
-			compute: spec.Profile.ComputeTime,
-			noise:   spec.NoiseStd,
-			rng:     sim.NewRNG(jobSeed(seed, spec)),
-			rec:     rec,
-			flow:    i + 1,
+			sender:   f.Sender,
+			bytes:    bytes,
+			compute:  spec.Profile.ComputeTime,
+			noise:    spec.NoiseStd,
+			rng:      sim.NewRNG(jobSeed(seed, spec)),
+			rec:      rec,
+			flow:     i + 1,
+			maxIters: spec.MaxIterations,
 		}
 		if cwndEvery > 0 {
 			jobs[i].trace = tcp.SampleCwnd(f.Sender, cwndEvery)

@@ -82,6 +82,13 @@ func ResultFromTrace(m *telemetry.Manifest, events []telemetry.Event) (*Result, 
 		Scale:    m.Scale,
 		Duration: m.Duration(),
 	}
+	if m.Topology != "" {
+		res.Cluster = &ClusterResult{
+			Topology: m.Topology,
+			Racks:    m.Racks,
+			Links:    m.FabricLinks,
+		}
+	}
 	res.Jobs = make([]JobResult, len(m.Jobs))
 	byFlow := make(map[int]*JobResult, len(m.Jobs))
 	for i, mj := range m.Jobs {
@@ -90,6 +97,9 @@ func ResultFromTrace(m *telemetry.Manifest, events []telemetry.Event) (*Result, 
 			Profile:      mj.Profile,
 			Ideal:        sim.Time(mj.IdealNS),
 			BytesPerIter: mj.BytesPerIter,
+			SrcRack:      mj.SrcRack,
+			DstRack:      mj.DstRack,
+			PathLinks:    mj.Links,
 		}
 		byFlow[mj.Flow] = &res.Jobs[i]
 	}

@@ -45,6 +45,10 @@ type Scenario struct {
 	// counts tractable (default 0.01, the paper-testbed 1/100 scale). The
 	// fluid backend ignores it.
 	PacketScale float64 `json:"packet_scale,omitempty"`
+	// Topology optionally replaces the single bottleneck with a cluster
+	// fabric (fat-tree or leaf-spine); jobs are then placed on racks and
+	// rates come from the weighted max-min allocator. Fluid backend only.
+	Topology *Topology `json:"topology,omitempty"`
 	// Jobs lists the workload.
 	Jobs []Job `json:"jobs"`
 }
@@ -68,6 +72,15 @@ type Job struct {
 	Count int `json:"count,omitempty"`
 	// Seed drives the job's noise stream (replicas add their index).
 	Seed uint64 `json:"seed,omitempty"`
+	// SrcRack and DstRack place the job's flow on the scenario topology
+	// ("rack0", "rack1", ...). Set both or neither; unplaced jobs are
+	// spread deterministically. Requires Topology.
+	SrcRack string `json:"src_rack,omitempty"`
+	DstRack string `json:"dst_rack,omitempty"`
+	// Iters caps the job at that many training iterations, after which it
+	// departs the fabric (0 = run for the whole horizon). This is what
+	// lets trace-driven cluster scenarios model job completion.
+	Iters int `json:"iters,omitempty"`
 }
 
 // ccPolicies maps every congestion-control policy name to its base
@@ -173,6 +186,15 @@ func (s *Scenario) validate() error {
 	if s.PacketScale < 0 || s.PacketScale > 1 {
 		return fmt.Errorf("config: packet_scale %v outside (0, 1]", s.PacketScale)
 	}
+	if s.Topology != nil {
+		if err := s.Topology.validate(); err != nil {
+			return err
+		}
+		if fluidOnlyPolicies[s.Policy] {
+			return fmt.Errorf("config: policy %q cannot run on a topology (valid: %s, centralized)",
+				s.Policy, strings.Join(CCPolicyNames(), ", "))
+		}
+	}
 	known := workload.Profiles()
 	for i, j := range s.Jobs {
 		custom := j.ComputeMS > 0 || j.CommMB > 0
@@ -191,6 +213,27 @@ func (s *Scenario) validate() error {
 		}
 		if j.Count < 0 {
 			return fmt.Errorf("config: job %d: negative count", i)
+		}
+		if j.Iters < 0 {
+			return fmt.Errorf("config: job %d: negative iters", i)
+		}
+		if (j.SrcRack == "") != (j.DstRack == "") {
+			return fmt.Errorf("config: job %d: src_rack and dst_rack must be set together", i)
+		}
+		if j.SrcRack != "" {
+			if s.Topology == nil {
+				return fmt.Errorf("config: job %d places racks but the scenario has no topology", i)
+			}
+			for _, r := range []string{j.SrcRack, j.DstRack} {
+				if _, ok := s.Topology.rackIndex(r); !ok {
+					return fmt.Errorf("config: job %d: unknown rack %q (valid: %s)",
+						i, r, strings.Join(s.Topology.RackNames(), ", "))
+				}
+			}
+			if j.SrcRack == j.DstRack && s.Topology.hostsPerRack() < 2 {
+				return fmt.Errorf("config: job %d: same-rack placement %q needs at least two hosts per rack",
+					i, j.SrcRack)
+			}
 		}
 	}
 	return nil
@@ -256,6 +299,11 @@ func (s Scenario) FluidPolicy() fluid.Policy {
 	case "pias":
 		return fluid.PIAS{Thresholds: []int64{int64(100 * units.MB), int64(1000 * units.MB)}}
 	default: // every CC policy (and centralized) shares by CC weight
+		if s.Topology != nil {
+			// On a fabric the weighted share generalizes to weighted
+			// max-min across every link (bit-identical on a single link).
+			return fluid.MaxMin{}
+		}
 		return fluid.WeightedShare{}
 	}
 }
@@ -291,11 +339,12 @@ func (s Scenario) Specs() []workload.Spec {
 				name = fmt.Sprintf("%s-%d", name, c+1)
 			}
 			specs = append(specs, workload.Spec{
-				Name:        name,
-				Profile:     prof,
-				StartOffset: sim.FromSeconds(j.OffsetMS/1000) + sim.Time(len(specs))*stagger,
-				NoiseStd:    sim.FromSeconds(j.NoiseMS / 1000),
-				Seed:        j.Seed + uint64(ji*100+c),
+				Name:          name,
+				Profile:       prof,
+				StartOffset:   sim.FromSeconds(j.OffsetMS/1000) + sim.Time(len(specs))*stagger,
+				NoiseStd:      sim.FromSeconds(j.NoiseMS / 1000),
+				Seed:          j.Seed + uint64(ji*100+c),
+				MaxIterations: j.Iters,
 			})
 		}
 	}
@@ -308,7 +357,7 @@ func (s Scenario) BuildJobs() []*fluid.Job {
 	specs := s.Specs()
 	jobs := make([]*fluid.Job, len(specs))
 	for i, spec := range specs {
-		jobs[i] = &fluid.Job{Spec: spec, Agg: agg}
+		jobs[i] = &fluid.Job{Spec: spec, Agg: agg, MaxIterations: spec.MaxIterations}
 	}
 	return jobs
 }

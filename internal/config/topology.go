@@ -1,0 +1,180 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+
+	"mltcp/internal/netsim"
+	"mltcp/internal/units"
+)
+
+// Topology kind names — the registry every kind dispatch and validation
+// error draws from.
+const (
+	KindFatTree   = "fattree"
+	KindLeafSpine = "leafspine"
+)
+
+// TopologyKinds returns the accepted topology kinds in a stable order
+// (for error messages and usage strings).
+func TopologyKinds() []string { return []string{KindFatTree, KindLeafSpine} }
+
+// Topology describes a cluster fabric for a scenario. Without one, a
+// scenario runs on the classic single-bottleneck (dumbbell) model; with
+// one, jobs are placed onto racks, routed over ECMP-selected paths, and
+// allocated by the weighted max-min fluid model.
+type Topology struct {
+	// Kind selects the fabric family: "fattree" or "leafspine".
+	Kind string `json:"kind"`
+	// K is the fat-tree arity (even, >= 4): k pods, k²/2 racks, k³/4
+	// hosts. fattree only.
+	K int `json:"k,omitempty"`
+	// Leaves, Spines, and HostsPerLeaf size a leaf-spine fabric.
+	// leafspine only.
+	Leaves       int `json:"leaves,omitempty"`
+	Spines       int `json:"spines,omitempty"`
+	HostsPerLeaf int `json:"hosts_per_leaf,omitempty"`
+	// LinkGbps is the switch-to-switch link rate (default: the
+	// scenario's CapacityGbps).
+	LinkGbps float64 `json:"link_gbps,omitempty"`
+	// HostGbps is the host uplink rate (default: LinkGbps).
+	HostGbps float64 `json:"host_gbps,omitempty"`
+}
+
+// validate checks the topology description in isolation.
+func (t *Topology) validate() error {
+	switch t.Kind {
+	case KindFatTree:
+		if t.K < 4 || t.K%2 != 0 {
+			return fmt.Errorf("config: fat-tree k %d must be even and >= 4", t.K)
+		}
+		if t.Leaves != 0 || t.Spines != 0 || t.HostsPerLeaf != 0 {
+			return fmt.Errorf("config: fattree topology takes k, not leaves/spines/hosts_per_leaf")
+		}
+	case KindLeafSpine:
+		if t.Leaves < 1 || t.Spines < 1 || t.HostsPerLeaf < 1 {
+			return fmt.Errorf("config: leafspine topology needs leaves, spines, hosts_per_leaf >= 1")
+		}
+		if t.K != 0 {
+			return fmt.Errorf("config: leafspine topology takes leaves/spines/hosts_per_leaf, not k")
+		}
+		if t.Leaves == 1 && t.HostsPerLeaf == 1 {
+			return fmt.Errorf("config: leafspine topology needs at least two hosts")
+		}
+	default:
+		return fmt.Errorf("config: unknown topology kind %q (valid: %s)",
+			t.Kind, strings.Join(TopologyKinds(), ", "))
+	}
+	if t.LinkGbps < 0 || t.HostGbps < 0 {
+		return fmt.Errorf("config: negative topology link rate")
+	}
+	return nil
+}
+
+// Racks returns the number of racks the topology exposes for placement.
+func (t *Topology) Racks() int {
+	if t.Kind == KindFatTree {
+		return t.K * t.K / 2
+	}
+	return t.Leaves
+}
+
+// hostsPerRack returns the number of hosts attached to each rack.
+func (t *Topology) hostsPerRack() int {
+	if t.Kind == KindFatTree {
+		return t.K / 2
+	}
+	return t.HostsPerLeaf
+}
+
+// RackNames returns the placement names jobs may reference, "rack0"
+// through "rack{N-1}" — the registry topology-placement validation errors
+// list.
+func (t *Topology) RackNames() []string {
+	names := make([]string, t.Racks())
+	for i := range names {
+		names[i] = fmt.Sprintf("rack%d", i)
+	}
+	return names
+}
+
+// rackIndex resolves a placement name against the registry.
+func (t *Topology) rackIndex(name string) (int, bool) {
+	var i int
+	if _, err := fmt.Sscanf(name, "rack%d", &i); err != nil {
+		return 0, false
+	}
+	if fmt.Sprintf("rack%d", i) != name || i < 0 || i >= t.Racks() {
+		return 0, false
+	}
+	return i, true
+}
+
+// Build constructs the fabric graph. capacity is the scenario bottleneck
+// rate, the default for both link tiers.
+func (t *Topology) Build(capacity units.Rate) *netsim.Fabric {
+	linkRate := capacity
+	if t.LinkGbps > 0 {
+		linkRate = units.Rate(t.LinkGbps) * units.Gbps
+	}
+	hostRate := linkRate
+	if t.HostGbps > 0 {
+		hostRate = units.Rate(t.HostGbps) * units.Gbps
+	}
+	if t.Kind == KindFatTree {
+		return netsim.NewFatTree(t.K, hostRate, linkRate)
+	}
+	return netsim.NewLeafSpine(t.Leaves, t.Spines, t.HostsPerLeaf, hostRate, linkRate)
+}
+
+// Label returns the topology's display name ("fattree-8",
+// "leafspine-6x3x4").
+func (t *Topology) Label() string {
+	if t.Kind == KindFatTree {
+		return fmt.Sprintf("fattree-%d", t.K)
+	}
+	return fmt.Sprintf("leafspine-%dx%dx%d", t.Leaves, t.Spines, t.HostsPerLeaf)
+}
+
+// Placement is one expanded job's rack assignment, aligned index-by-index
+// with Scenario.Specs().
+type Placement struct {
+	// SrcRack and DstRack are rack indices into the topology.
+	SrcRack, DstRack int
+}
+
+// Placements expands the scenario's job list into rack placements, one
+// per Specs() entry. Jobs with explicit src_rack/dst_rack keep them
+// (replicas repeat the pair); unplaced jobs are spread deterministically:
+// source racks round-robin, destinations half a fabric away, so
+// auto-placed cluster scenarios exercise shared and disjoint bottlenecks
+// without hand-written placement. Returns nil without a topology.
+func (s Scenario) Placements() []Placement {
+	if s.Topology == nil {
+		return nil
+	}
+	racks := s.Topology.Racks()
+	var out []Placement
+	for _, j := range s.Jobs {
+		count := j.Count
+		if count == 0 {
+			count = 1
+		}
+		for c := 0; c < count; c++ {
+			i := len(out)
+			var p Placement
+			if j.SrcRack != "" {
+				p.SrcRack, _ = s.Topology.rackIndex(j.SrcRack)
+				p.DstRack, _ = s.Topology.rackIndex(j.DstRack)
+			} else {
+				p.SrcRack = i % racks
+				p.DstRack = (i + racks/2) % racks
+				if p.DstRack == p.SrcRack && racks > 1 {
+					p.DstRack = (p.SrcRack + 1) % racks
+				}
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}

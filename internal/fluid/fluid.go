@@ -44,6 +44,10 @@ type Job struct {
 	// MaxIterations stops the job after this many completed
 	// communication phases (0 = unlimited).
 	MaxIterations int
+	// Path lists the directed link indices the job's flow crosses, in
+	// order, when the simulation runs over a Config.Network fabric.
+	// Ignored (and normally nil) in single-bottleneck simulations.
+	Path []int
 
 	phase         phase
 	commRemaining float64 // bytes left in the current comm phase
@@ -125,10 +129,17 @@ func (j *Job) AvgIterTime(skip int) sim.Time {
 
 // Config configures a fluid simulation.
 type Config struct {
-	// Capacity is the bottleneck link rate.
+	// Capacity is the bottleneck link rate. Ignored when Network is set
+	// (each link then carries its own capacity).
 	Capacity units.Rate
-	// Policy allocates the bottleneck among communicating jobs.
+	// Policy allocates the bottleneck among communicating jobs. When
+	// Network is set it must implement NetworkPolicy.
 	Policy Policy
+	// Network, when non-nil, replaces the single bottleneck with a
+	// multi-link fabric: every job must carry a non-empty Path of link
+	// indices into Network.Capacities, and allocation goes through the
+	// policy's AllocateNetwork.
+	Network *Network
 	// Step bounds how long allocated rates are held constant before the
 	// policy re-evaluates (default 1ms). Phase boundaries are handled
 	// exactly regardless of Step.
@@ -142,12 +153,14 @@ type Config struct {
 	Telemetry *telemetry.Recorder
 }
 
-// Sim runs a set of jobs over one bottleneck.
+// Sim runs a set of jobs over one bottleneck (or, with Config.Network, a
+// multi-link fabric).
 type Sim struct {
-	cfg   Config
-	jobs  []*Job
-	now   sim.Time
-	steps uint64
+	cfg    Config
+	netpol NetworkPolicy // non-nil iff cfg.Network is set
+	jobs   []*Job
+	now    sim.Time
+	steps  uint64
 
 	trace map[*Job][]float64 // bytes per bucket
 }
@@ -155,7 +168,7 @@ type Sim struct {
 // New creates a simulation. Every job gets a private noise stream derived
 // from its Spec.Seed.
 func New(cfg Config, jobs []*Job) *Sim {
-	if cfg.Capacity <= 0 {
+	if cfg.Network == nil && cfg.Capacity <= 0 {
 		panic("fluid: capacity must be positive")
 	}
 	if cfg.Policy == nil {
@@ -171,9 +184,27 @@ func New(cfg Config, jobs []*Job) *Sim {
 		panic("fluid: no jobs")
 	}
 	s := &Sim{cfg: cfg, jobs: jobs, trace: make(map[*Job][]float64)}
+	if cfg.Network != nil {
+		np, ok := cfg.Policy.(NetworkPolicy)
+		if !ok {
+			panic(fmt.Sprintf("fluid: policy %s cannot allocate a multi-link network", cfg.Policy.Name()))
+		}
+		s.netpol = np
+	}
 	for i, j := range jobs {
 		if j.Spec.Profile.CommBytes <= 0 || j.Spec.Profile.ComputeTime < 0 {
 			panic(fmt.Sprintf("fluid: job %s has invalid profile %v", j.Spec.Label(), j.Spec.Profile))
+		}
+		if cfg.Network != nil {
+			if len(j.Path) == 0 {
+				panic(fmt.Sprintf("fluid: job %s has no network path", j.Spec.Label()))
+			}
+			for _, l := range j.Path {
+				if l < 0 || l >= len(cfg.Network.Capacities) {
+					panic(fmt.Sprintf("fluid: job %s path references link %d of %d",
+						j.Spec.Label(), l, len(cfg.Network.Capacities)))
+				}
+			}
 		}
 		j.phase = phaseIdle
 		j.wakeAt = j.Spec.StartOffset
@@ -207,7 +238,12 @@ func (s *Sim) Run(until sim.Time) {
 			continue
 		}
 
-		rates := s.cfg.Policy.Allocate(s.cfg.Capacity, active)
+		var rates []units.Rate
+		if s.netpol != nil {
+			rates = s.netpol.AllocateNetwork(s.cfg.Network, active)
+		} else {
+			rates = s.cfg.Policy.Allocate(s.cfg.Capacity, active)
+		}
 		if s.cfg.Telemetry.Enabled() {
 			for _, j := range active {
 				if j.Agg != nil {

@@ -1,0 +1,155 @@
+package fluid
+
+import (
+	"fmt"
+
+	"mltcp/internal/units"
+)
+
+// Network describes a multi-link fabric for the fluid simulator: one
+// capacity per directed link. Jobs carry a Path of link indices; the
+// MaxMin policy allocates rates so every flow is bottlenecked somewhere
+// on its own path rather than on one global link.
+type Network struct {
+	// Capacities[l] is link l's rate.
+	Capacities []units.Rate
+	// Names[l] optionally labels link l for telemetry and reports (may be
+	// nil; when set it must match Capacities in length).
+	Names []string
+}
+
+// NewNetwork builds a Network from parallel capacity and name slices.
+func NewNetwork(capacities []units.Rate, names []string) *Network {
+	if len(capacities) == 0 {
+		panic("fluid: network needs at least one link")
+	}
+	if names != nil && len(names) != len(capacities) {
+		panic("fluid: network names must match capacities")
+	}
+	return &Network{Capacities: capacities, Names: names}
+}
+
+// NetworkPolicy allocates a multi-link network among the communicating
+// jobs. Implementations must return one rate per active job such that on
+// every link the allocated rates sum to at most its capacity.
+type NetworkPolicy interface {
+	Policy
+	// AllocateNetwork returns the instantaneous rate for each active job,
+	// respecting every link capacity along each job's Path.
+	AllocateNetwork(nw *Network, active []*Job) []units.Rate
+}
+
+// MaxMin is the weighted max-min allocator: progressive filling
+// (water-filling) where each flow's level rises in proportion to its
+// Weight() until some link on its path saturates. On a single shared
+// link this reduces bit-for-bit to WeightedShare — every flow's one
+// bottleneck is that link and its rate is capacity·w/Σw computed by the
+// same expression — which is what keeps the legacy dumbbell golden
+// traces byte-identical under the new allocator.
+type MaxMin struct{}
+
+// Name implements Policy.
+func (MaxMin) Name() string { return "maxmin" }
+
+// Allocate implements Policy (the single-link degenerate case): every
+// active job implicitly crosses the one bottleneck, so weighted max-min
+// is exactly the weighted share.
+func (MaxMin) Allocate(capacity units.Rate, active []*Job) []units.Rate {
+	return WeightedShare{}.Allocate(capacity, active)
+}
+
+// AllocateNetwork implements NetworkPolicy by progressive filling. Each
+// round finds the link that saturates first — the minimum of
+// headroom/Σweights over links still carrying unfrozen flows — freezes
+// every unfrozen flow crossing it at its weighted share of the
+// remaining headroom, and charges those rates to every link on the
+// frozen flows' paths. Ties break toward the lowest link index, so the
+// allocation is a pure function of (network, active jobs).
+//
+// The result satisfies the allocator invariants pinned by maxmin_test.go:
+// per-link conservation, at least one saturated link on every flow's
+// path, and rates proportional to weights among flows sharing a
+// bottleneck.
+func (MaxMin) AllocateNetwork(nw *Network, active []*Job) []units.Rate {
+	n := len(active)
+	rates := make([]units.Rate, n)
+	if n == 0 {
+		return rates
+	}
+	nl := len(nw.Capacities)
+	load := make([]float64, nl) // frozen rate charged to each link
+	wsum := make([]float64, nl) // unfrozen weight crossing each link
+	done := make([]bool, nl)    // link already chosen as a bottleneck
+	frozen := make([]bool, n)
+	weights := make([]float64, n)
+	for i, j := range active {
+		if len(j.Path) == 0 {
+			panic(fmt.Sprintf("fluid: job %s has no path", j.Spec.Label()))
+		}
+		weights[i] = j.Weight()
+	}
+
+	for remaining := n; remaining > 0; {
+		for l := range wsum {
+			wsum[l] = 0
+		}
+		for i, j := range active {
+			if frozen[i] {
+				continue
+			}
+			for _, l := range j.Path {
+				wsum[l] += weights[i]
+			}
+		}
+		// The next bottleneck: least headroom per unit of unfrozen weight.
+		bottleneck := -1
+		var bottleneckFill float64
+		for l := 0; l < nl; l++ {
+			if done[l] || wsum[l] <= 0 {
+				continue
+			}
+			fill := (float64(nw.Capacities[l]) - load[l]) / wsum[l]
+			if fill < 0 {
+				fill = 0 // float drift below zero headroom: freeze at 0
+			}
+			if bottleneck < 0 || fill < bottleneckFill {
+				bottleneck, bottleneckFill = l, fill
+			}
+		}
+		if bottleneck < 0 {
+			// Only reachable if every remaining flow has zero weight on
+			// every link (Σw = 0 everywhere): nothing left to fill.
+			break
+		}
+		headroom := float64(nw.Capacities[bottleneck]) - load[bottleneck]
+		if headroom < 0 {
+			headroom = 0
+		}
+		for i, j := range active {
+			if frozen[i] {
+				continue
+			}
+			onBottleneck := false
+			for _, l := range j.Path {
+				if l == bottleneck {
+					onBottleneck = true
+					break
+				}
+			}
+			if !onBottleneck {
+				continue
+			}
+			// capacity·w/Σw ordering matches WeightedShare exactly when
+			// the bottleneck is the flows' first (load 0, headroom = cap).
+			r := headroom * weights[i] / wsum[bottleneck]
+			rates[i] = units.Rate(r)
+			frozen[i] = true
+			remaining--
+			for _, l := range j.Path {
+				load[l] += r
+			}
+		}
+		done[bottleneck] = true
+	}
+	return rates
+}

@@ -31,6 +31,11 @@ type ManifestJob struct {
 	// BytesPerIter is the per-iteration communication volume at the
 	// run's scale.
 	BytesPerIter int64 `json:"bytes_per_iter"`
+	// SrcRack, DstRack, and Links record the job's fabric placement and
+	// the directed links its flow crosses. Topology runs only.
+	SrcRack string   `json:"src_rack,omitempty"`
+	DstRack string   `json:"dst_rack,omitempty"`
+	Links   []string `json:"links,omitempty"`
 }
 
 // Manifest is the run's identity: everything needed to reproduce it and
@@ -50,8 +55,13 @@ type Manifest struct {
 	// DurationNS is the simulated horizon in ns.
 	DurationNS int64 `json:"duration_ns"`
 	// Revision is the VCS revision of the producing binary, when known.
-	Revision string        `json:"revision,omitempty"`
-	Jobs     []ManifestJob `json:"jobs"`
+	Revision string `json:"revision,omitempty"`
+	// Topology labels the cluster fabric ("fattree-4"), with its rack and
+	// directed-link counts. Empty for the single-bottleneck model.
+	Topology    string        `json:"topology,omitempty"`
+	Racks       int           `json:"racks,omitempty"`
+	FabricLinks int           `json:"fabric_links,omitempty"`
+	Jobs        []ManifestJob `json:"jobs"`
 }
 
 // Duration returns the simulated horizon.

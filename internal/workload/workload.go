@@ -104,6 +104,10 @@ type Spec struct {
 	NoiseStd sim.Time
 	// Seed drives the job's private noise stream.
 	Seed uint64
+	// MaxIterations stops the job after that many iterations (0 = run for
+	// the whole horizon). Cluster trace scenarios use it to model job
+	// departure.
+	MaxIterations int
 }
 
 // Label returns the job's display name.
