@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet-lint bench bench-baseline clean
+.PHONY: build test race lint vet-lint bench bench-baseline profile clean
 
 build:
 	$(GO) build ./...
@@ -38,5 +38,15 @@ bench:
 bench-baseline:
 	$(GO) run ./cmd/mltcp-bench -out bench/baseline.json
 
+# Profile the quick suite: CPU + heap profiles under profiles/, ready
+# for `go tool pprof profiles/cpu.pprof`. Profiling perturbs wall time
+# but never simulation state (see internal/obs/pprof.go), so the run's
+# traces match an unprofiled run's. See docs/EXTENDING.md §10.
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/mltcp-bench -quick -out profiles/BENCH.json \
+		-cpuprofile profiles/cpu.pprof -memprofile profiles/heap.pprof
+	@echo "profiles written: go tool pprof profiles/cpu.pprof"
+
 clean:
-	rm -rf bin BENCH.json
+	rm -rf bin BENCH.json profiles

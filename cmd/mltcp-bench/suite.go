@@ -174,7 +174,8 @@ func runBenchPoint(ctx context.Context, cfg benchConfig, pt suitePoint) (*obs.Be
 	// encoder), obs collector on, a GC before each rep so allocation
 	// deltas are attributable to the rep.
 	var walls []time.Duration
-	var allocs, allocBytes []uint64
+	var allocs, allocBytes, repPeakHeaps []uint64
+	var repMaxDepths []int
 	for r := 0; r < cfg.reps; r++ {
 		runtime.GC()
 		col := obs.NewCollector()
@@ -196,16 +197,9 @@ func runBenchPoint(ctx context.Context, cfg benchConfig, pt suitePoint) (*obs.Be
 		allocs = append(allocs, after.Mallocs-before.Mallocs)
 		allocBytes = append(allocBytes, after.TotalAllocBytes-before.TotalAllocBytes)
 
-		var repEvents uint64
-		for _, rs := range col.Runs() {
-			repEvents += rs.Events
-			if rs.MaxHeapDepth > bp.MaxHeapDepth {
-				bp.MaxHeapDepth = rs.MaxHeapDepth
-			}
-			if rs.PeakHeapBytes > bp.PeakHeapBytes {
-				bp.PeakHeapBytes = rs.PeakHeapBytes
-			}
-		}
+		repEvents, repDepth, repPeak := reduceRep(col.Runs())
+		repMaxDepths = append(repMaxDepths, repDepth)
+		repPeakHeaps = append(repPeakHeaps, repPeak)
 		bp.Events = repEvents // deterministic: identical every rep
 		for _, ss := range col.Sweeps() {
 			if u := ss.Utilization(); u > bp.WorkerUtilization {
@@ -225,10 +219,35 @@ func runBenchPoint(ctx context.Context, cfg benchConfig, pt suitePoint) (*obs.Be
 		}
 		bp.SimWallRatio = scn.Duration().Seconds() * float64(ops) / s
 	}
-	// min strips scheduler and GC-timing noise, which only ever adds.
+	// min strips scheduler and GC-timing noise, which only ever adds. The
+	// memory peaks follow the same rule: each rep's figure is the max over
+	// that rep's runs (a sweep has several), and the file records the min
+	// over reps — previously these were max over every rep, so one rep
+	// with a badly timed GC inflated the gated number for the revision.
 	bp.AllocsPerOp = minUint64(allocs)
 	bp.AllocBytesPerOp = minUint64(allocBytes)
+	bp.PeakHeapBytes = minUint64(repPeakHeaps)
+	bp.MaxHeapDepth = minInt(repMaxDepths)
 	return bp, nil
+}
+
+// reduceRep collapses one rep's run stats (a sweep rep has several runs;
+// a plain rep has one) into the rep's figures: total events, and the max
+// heap depth / peak live heap across the rep's runs. Peaks are maxed
+// within a rep — the rep really did hold that much at once — and then
+// min-reduced across reps like every other gated metric, so GC timing in
+// one rep cannot inflate the recorded number.
+func reduceRep(runs []obs.RunStats) (events uint64, maxDepth int, peakHeap uint64) {
+	for _, rs := range runs {
+		events += rs.Events
+		if rs.MaxHeapDepth > maxDepth {
+			maxDepth = rs.MaxHeapDepth
+		}
+		if rs.PeakHeapBytes > peakHeap {
+			peakHeap = rs.PeakHeapBytes
+		}
+	}
+	return events, maxDepth, peakHeap
 }
 
 func summarizeWalls(walls []time.Duration) (minW, meanW time.Duration) {
@@ -247,6 +266,19 @@ func summarizeWalls(walls []time.Duration) (minW, meanW time.Duration) {
 }
 
 func minUint64(vs []uint64) uint64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	m := vs[0]
+	for _, v := range vs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func minInt(vs []int) int {
 	if len(vs) == 0 {
 		return 0
 	}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"mltcp/internal/obs"
+)
+
+// TestReduceRepSemantics pins the rep-summary rule for memory peaks:
+// within one rep the figures are maxed across the rep's runs (a sweep rep
+// holds all of them at once), and across reps the suite takes the min,
+// identical to walls and alloc counts.
+func TestReduceRepSemantics(t *testing.T) {
+	rep1 := []obs.RunStats{
+		{Events: 10, MaxHeapDepth: 4, PeakHeapBytes: 100},
+		{Events: 20, MaxHeapDepth: 9, PeakHeapBytes: 700},
+	}
+	rep2 := []obs.RunStats{
+		{Events: 10, MaxHeapDepth: 6, PeakHeapBytes: 300},
+		{Events: 20, MaxHeapDepth: 5, PeakHeapBytes: 200},
+	}
+
+	ev1, d1, p1 := reduceRep(rep1)
+	if ev1 != 30 || d1 != 9 || p1 != 700 {
+		t.Fatalf("rep1 reduced to events=%d depth=%d peak=%d, want 30/9/700", ev1, d1, p1)
+	}
+	ev2, d2, p2 := reduceRep(rep2)
+	if ev2 != 30 || d2 != 6 || p2 != 300 {
+		t.Fatalf("rep2 reduced to events=%d depth=%d peak=%d, want 30/6/300", ev2, d2, p2)
+	}
+
+	// Across reps the recorded value is the min of the per-rep maxes —
+	// NOT the max over all runs of all reps (which would be 9/700 here).
+	if got := minInt([]int{d1, d2}); got != 6 {
+		t.Fatalf("min-over-reps depth = %d, want 6", got)
+	}
+	if got := minUint64([]uint64{p1, p2}); got != 300 {
+		t.Fatalf("min-over-reps peak = %d, want 300", got)
+	}
+}
+
+func TestMinHelpersEmpty(t *testing.T) {
+	if got := minInt(nil); got != 0 {
+		t.Fatalf("minInt(nil) = %d, want 0", got)
+	}
+	if got := minUint64(nil); got != 0 {
+		t.Fatalf("minUint64(nil) = %d, want 0", got)
+	}
+}

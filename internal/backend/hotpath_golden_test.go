@@ -1,0 +1,186 @@
+package backend
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"mltcp/internal/config"
+	"mltcp/internal/telemetry"
+)
+
+var updateHotpathGolden = flag.Bool("update-hotpath", false,
+	"re-bless testdata/hotpath_golden.json (forbidden during hot-path refactors; see the test comment)")
+
+// hotpathDigest is the per-point fingerprint: a SHA-256 of the full
+// telemetry event stream (the byte-identical contract) and of the
+// JSON-encoded Result (the DeepEqual contract, via a deterministic
+// encoding).
+type hotpathDigest struct {
+	Trace  string `json:"trace_sha256"`
+	Result string `json:"result_sha256"`
+}
+
+// hotpathPoint is one golden scenario/backend pair. Packet points cap the
+// horizon so the full suite stays test-fast; the cap is part of the
+// pinned configuration.
+type hotpathPoint struct {
+	name        string
+	backendName string
+	load        func(t *testing.T) *config.Scenario
+}
+
+func loadScenarioFile(t *testing.T, file string) *config.Scenario {
+	t.Helper()
+	f, err := os.Open(filepath.FromSlash("../../examples/scenarios/" + file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	scn, err := config.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &scn
+}
+
+func hotpathPoints() []hotpathPoint {
+	fileScenario := func(file string, cap float64) func(t *testing.T) *config.Scenario {
+		return func(t *testing.T) *config.Scenario {
+			scn := loadScenarioFile(t, file)
+			if cap > 0 && scn.DurationSec > cap {
+				scn.DurationSec = cap
+			}
+			return scn
+		}
+	}
+	synth := func(policy string, durationSec float64, profiles ...string) func(t *testing.T) *config.Scenario {
+		return func(*testing.T) *config.Scenario {
+			scn := &config.Scenario{Name: "golden-" + policy, Policy: policy, DurationSec: durationSec}
+			for i, p := range profiles {
+				scn.Jobs = append(scn.Jobs, config.Job{Name: fmt.Sprintf("J%d", i+1), Profile: p})
+			}
+			return scn
+		}
+	}
+	return []hotpathPoint{
+		// Every checked-in scenario on the fluid backend, full horizon.
+		{"fluid/cluster-fattree", NameFluid, fileScenario("cluster-fattree.json", 0)},
+		{"fluid/fourjobs", NameFluid, fileScenario("fourjobs.json", 0)},
+		{"fluid/hetero", NameFluid, fileScenario("hetero.json", 0)},
+		{"fluid/noisy-six", NameFluid, fileScenario("noisy-six.json", 0)},
+		// Non-topology scenarios on the packet backend, horizon capped at
+		// 5 simulated seconds (full horizons cost minutes of wall time).
+		{"packet/fourjobs", NamePacket, fileScenario("fourjobs.json", 5)},
+		{"packet/hetero", NamePacket, fileScenario("hetero.json", 5)},
+		{"packet/noisy-six", NamePacket, fileScenario("noisy-six.json", 5)},
+		// Synthetic points covering paths the examples miss: the ECN/DCTCP
+		// marking pipeline, and the fluid SRPT/PIAS allocators.
+		{"packet/dctcp-two-gpt2", NamePacket, synth("dctcp", 5, "gpt2", "gpt2")},
+		{"fluid/srpt-three", NameFluid, synth("srpt", 60, "gpt3", "gpt2", "gpt2")},
+		{"fluid/pias-three", NameFluid, synth("pias", 60, "gpt3", "gpt2", "gpt2")},
+	}
+}
+
+func runHotpathPoint(t *testing.T, pt hotpathPoint) hotpathDigest {
+	t.Helper()
+	b, err := New(pt.backendName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn := pt.load(t)
+	rec, buf, reg := telemetry.NewBuffered(telemetry.Options{})
+	res, err := b.Run(telemetry.WithRecorder(context.Background(), rec), scn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The manifest is omitted on purpose: it embeds the build revision,
+	// which legitimately changes between commits. Events and the metrics
+	// registry are the simulation's observable behaviour.
+	var trace bytes.Buffer
+	if err := telemetry.Write(&trace, nil, buf.Events(), reg); err != nil {
+		t.Fatal(err)
+	}
+	resJSON, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsum := sha256.Sum256(trace.Bytes())
+	rsum := sha256.Sum256(resJSON)
+	return hotpathDigest{
+		Trace:  hex.EncodeToString(tsum[:]),
+		Result: hex.EncodeToString(rsum[:]),
+	}
+}
+
+// TestHotPathGoldenTraces is the correctness contract for the hot-path
+// overhaul (timer wheel, pooled events and packets, SoA fluid state):
+// every checked-in scenario must produce a byte-identical telemetry trace
+// and a DeepEqual Result (compared through a deterministic JSON encoding)
+// before and after the refactor. The golden digests were captured from
+// the pre-refactor tree; re-blessing them with -update-hotpath is only
+// legitimate for changes that intentionally alter simulation behaviour,
+// never for performance work.
+func TestHotPathGoldenTraces(t *testing.T) {
+	goldenPath := filepath.FromSlash("testdata/hotpath_golden.json")
+	golden := map[string]hotpathDigest{}
+	if !*updateHotpathGolden {
+		data, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("missing golden file (generate once with -update-hotpath): %v", err)
+		}
+		if err := json.Unmarshal(data, &golden); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := map[string]hotpathDigest{}
+	for _, pt := range hotpathPoints() {
+		pt := pt
+		t.Run(pt.name, func(t *testing.T) {
+			d := runHotpathPoint(t, pt)
+			got[pt.name] = d
+			if *updateHotpathGolden {
+				return
+			}
+			want, ok := golden[pt.name]
+			if !ok {
+				t.Fatalf("point %s has no golden digest; regenerate with -update-hotpath", pt.name)
+			}
+			if d.Trace != want.Trace {
+				t.Errorf("telemetry trace diverged from the pre-refactor golden\n got  %s\n want %s", d.Trace, want.Trace)
+			}
+			if d.Result != want.Result {
+				t.Errorf("Result diverged from the pre-refactor golden\n got  %s\n want %s", d.Result, want.Result)
+			}
+		})
+	}
+
+	if *updateHotpathGolden {
+		names := make([]string, 0, len(got))
+		for n := range got {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		ordered := make(map[string]hotpathDigest, len(got))
+		for _, n := range names {
+			ordered[n] = got[n]
+		}
+		data, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d points)", goldenPath, len(got))
+	}
+}

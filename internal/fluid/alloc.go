@@ -1,0 +1,84 @@
+package fluid
+
+import "mltcp/internal/units"
+
+// AllocScratch is the reusable working set for in-place allocators. The
+// Sim owns one and passes it to every AllocateInto/AllocateNetworkInto
+// call, so steady-state allocation decisions touch only flat arrays and
+// allocate nothing. The slices grow to the simulation's link and flow
+// counts once and are then recycled.
+type AllocScratch struct {
+	// Per-link (length = number of network links):
+	Load []float64 // frozen rate charged to each link
+	WSum []float64 // unfrozen weight crossing each link
+	Done []bool    // link already chosen as a bottleneck
+
+	// Per-flow (length = number of active jobs):
+	Frozen     []bool
+	Weights    []float64
+	Bottleneck []int // link that froze each flow (-1 while unfrozen / single-link)
+
+	// cands are the candidate links of the last AllocateNetworkInto
+	// call: the ascending indices every active path crosses. On a
+	// cluster fabric this is a small fraction of the links, and the
+	// allocator's per-round work is proportional to it rather than to
+	// the fabric size. Between calls it also records exactly which WSum
+	// entries may hold stale non-zero values.
+	cands []int
+}
+
+// links (re)sizes the per-link slices without clearing them: the max-min
+// allocator clears Load/Done only for its candidate links and tracks
+// stale WSum entries through sc.cands, so a cluster-sized fabric is
+// never swept whole.
+func (sc *AllocScratch) links(n int) {
+	if cap(sc.Load) < n {
+		sc.Load = make([]float64, n)
+		sc.WSum = make([]float64, n)
+		sc.Done = make([]bool, n)
+	}
+	sc.Load = sc.Load[:n]
+	sc.WSum = sc.WSum[:n]
+	sc.Done = sc.Done[:n]
+}
+
+// weights (re)sizes just the Weights slice and returns it. The
+// single-link fillers never read Frozen or Bottleneck, so they skip the
+// per-flow clear that flows performs for the network allocator.
+func (sc *AllocScratch) weights(n int) []float64 {
+	if cap(sc.Weights) < n {
+		sc.Weights = make([]float64, n)
+	}
+	sc.Weights = sc.Weights[:n]
+	return sc.Weights
+}
+
+// flows (re)sizes and clears the per-flow slices.
+func (sc *AllocScratch) flows(n int) {
+	if cap(sc.Frozen) < n {
+		sc.Frozen = make([]bool, n)
+		sc.Weights = make([]float64, n)
+		sc.Bottleneck = make([]int, n)
+	}
+	sc.Frozen = sc.Frozen[:n]
+	sc.Weights = sc.Weights[:n]
+	sc.Bottleneck = sc.Bottleneck[:n]
+	for i := 0; i < n; i++ {
+		sc.Frozen[i] = false
+		sc.Bottleneck[i] = -1
+	}
+}
+
+// Filler is the in-place fast path of Policy: fill rates (length =
+// len(active)) instead of allocating a fresh slice. Implementations must
+// write every element and must produce exactly the same values as their
+// Allocate method — the Sim treats the two as interchangeable.
+type Filler interface {
+	AllocateInto(capacity units.Rate, active []*Job, rates []units.Rate, sc *AllocScratch)
+}
+
+// NetworkFiller is the in-place fast path of NetworkPolicy, under the
+// same exact-equivalence contract as Filler.
+type NetworkFiller interface {
+	AllocateNetworkInto(nw *Network, active []*Job, rates []units.Rate, sc *AllocScratch)
+}

@@ -16,7 +16,6 @@ package fluid
 
 import (
 	"fmt"
-	"math"
 
 	"mltcp/internal/core"
 	"mltcp/internal/sim"
@@ -70,7 +69,14 @@ func (j *Job) TotalBytes() float64 { return float64(j.Spec.Profile.CommBytes) }
 // delivered, clamped to [0, 1] — the fluid analogue of Algorithm 1's
 // bytes_ratio.
 func (j *Job) BytesRatio() float64 {
-	return math.Min(1, j.attained/j.TotalBytes())
+	// Branchy min instead of math.Min: same result for every input this
+	// ratio can take (non-negative, NaN passes through either way), and
+	// it keeps the per-step weight evaluation call-free.
+	r := j.attained / j.TotalBytes()
+	if r > 1 {
+		return 1
+	}
+	return r
 }
 
 // Weight returns the job's current bandwidth weight: F(bytes_ratio) for
@@ -155,14 +161,28 @@ type Config struct {
 
 // Sim runs a set of jobs over one bottleneck (or, with Config.Network, a
 // multi-link fabric).
+//
+// The integration state is structured for the hot loop: the set of
+// communicating jobs is maintained incrementally (in job-index order)
+// across steps instead of being rebuilt by scanning every job, the next
+// wake-up among sleeping jobs is cached, and the per-step rate vector and
+// allocator scratch are reused — a steady-state step allocates nothing.
 type Sim struct {
-	cfg    Config
-	netpol NetworkPolicy // non-nil iff cfg.Network is set
-	jobs   []*Job
-	now    sim.Time
-	steps  uint64
+	cfg     Config
+	netpol  NetworkPolicy // non-nil iff cfg.Network is set
+	fill    Filler        // cfg.Policy's in-place fast path, if offered
+	ws      bool          // fill is the stateless WeightedShare: call it directly
+	netfill NetworkFiller // netpol's in-place fast path, if offered
+	jobs    []*Job
+	now     sim.Time
+	steps   uint64
 
-	trace map[*Job][]float64 // bytes per bucket
+	active  []*Job       // communicating jobs, ascending flow id
+	rates   []units.Rate // reused per-step allocation vector
+	scratch AllocScratch // reused allocator working set
+	minWake sim.Time     // earliest wakeAt among idle/compute jobs (MaxTime if none)
+
+	trace [][]float64 // bytes per bucket, indexed by flow-1
 }
 
 // New creates a simulation. Every job gets a private noise stream derived
@@ -183,13 +203,24 @@ func New(cfg Config, jobs []*Job) *Sim {
 	if len(jobs) == 0 {
 		panic("fluid: no jobs")
 	}
-	s := &Sim{cfg: cfg, jobs: jobs, trace: make(map[*Job][]float64)}
+	s := &Sim{cfg: cfg, jobs: jobs, minWake: sim.MaxTime}
 	if cfg.Network != nil {
 		np, ok := cfg.Policy.(NetworkPolicy)
 		if !ok {
 			panic(fmt.Sprintf("fluid: policy %s cannot allocate a multi-link network", cfg.Policy.Name()))
 		}
 		s.netpol = np
+		s.netfill, _ = cfg.Policy.(NetworkFiller)
+	} else {
+		s.fill, _ = cfg.Policy.(Filler)
+		// Devirtualize the dominant single-link case: WeightedShare (and
+		// MaxMin, whose single-link path is WeightedShare by definition)
+		// is stateless, so allocate can call it directly instead of
+		// through the interface.
+		switch cfg.Policy.(type) {
+		case WeightedShare, MaxMin:
+			s.ws = true
+		}
 	}
 	for i, j := range jobs {
 		if j.Spec.Profile.CommBytes <= 0 || j.Spec.Profile.ComputeTime < 0 {
@@ -210,7 +241,13 @@ func New(cfg Config, jobs []*Job) *Sim {
 		j.wakeAt = j.Spec.StartOffset
 		j.rng = sim.NewRNG(j.Spec.Seed ^ 0x9e3779b97f4a7c15)
 		j.flow = i + 1
+		if j.wakeAt < s.minWake {
+			s.minWake = j.wakeAt
+		}
 	}
+	s.active = make([]*Job, 0, len(jobs))
+	s.rates = make([]units.Rate, len(jobs))
+	s.trace = make([][]float64, len(jobs))
 	return s
 }
 
@@ -226,25 +263,26 @@ func (s *Sim) Now() sim.Time { return s.now }
 func (s *Sim) Steps() uint64 { return s.steps }
 
 // Run advances the simulation to the given absolute time.
+//
+//hot
 func (s *Sim) Run(until sim.Time) {
+	// Loop-invariant hoists: whether telemetry records and the trace
+	// bucket width cannot change mid-run.
+	telemetryOn := s.cfg.Telemetry.Enabled()
+	traceBucket := s.cfg.TraceBucket
 	for s.now < until {
 		s.steps++
 		s.wakeDueJobs()
 
-		active := s.activeJobs()
+		active := s.active
 		dt := s.nextBoundary(until, active)
 		if len(active) == 0 {
 			s.now += dt
 			continue
 		}
 
-		var rates []units.Rate
-		if s.netpol != nil {
-			rates = s.netpol.AllocateNetwork(s.cfg.Network, active)
-		} else {
-			rates = s.cfg.Policy.Allocate(s.cfg.Capacity, active)
-		}
-		if s.cfg.Telemetry.Enabled() {
+		rates := s.allocate(active)
+		if telemetryOn {
 			for _, j := range active {
 				if j.Agg != nil {
 					ratio := j.BytesRatio()
@@ -252,76 +290,178 @@ func (s *Sim) Run(until sim.Time) {
 				}
 			}
 		}
-		// Constrain dt so no job overshoots its completion.
+		// Constrain dt so no job overshoots its completion. The common
+		// case — the job's finish time is far beyond dt — is screened
+		// without the divide or the math.Round: with c9 ≈ remaining ticks
+		// × rate (c·8 is exact, so c9 carries one rounding), the screen
+		// c9 >= (fdt+4)·rate guarantees the true finish f >= fdt+3.9 even
+		// after every intermediate rounding (relative error ~2e-16, and
+		// fdt < 2^40 keeps the absolute slop far under the +4 margin), so
+		// Round(f) >= f-0.5 > dt and the constraint cannot bind. The
+		// c9 <= 8e24 && rate >= 1e6 guards bound f <= ~8e18 < MaxInt64,
+		// keeping any value that could overflow the int64 conversion on
+		// the exact path, which is the original sim.FromSeconds call.
+		// NaN or negative inputs fail the screen and take the exact
+		// path too.
+		fdt, fastOK := float64(dt), dt < 1<<40 //lint:allow simunits screen compares in exact tick space
 		for i, j := range active {
 			if rates[i] <= 0 {
 				continue
 			}
-			finish := sim.FromSeconds(j.commRemaining * 8 / float64(rates[i]))
+			r := float64(rates[i])
+			c9 := j.commRemaining * 8e9
+			if fastOK && c9 >= (fdt+4)*r && c9 <= 8e24 && r >= 1e6 {
+				continue
+			}
+			finish := sim.FromSeconds(j.commRemaining * 8 / r)
 			if finish < 1 {
 				finish = 1 // guard against zero-length loops
 			}
 			if finish < dt {
 				dt = finish
+				fdt, fastOK = float64(dt), dt < 1<<40 //lint:allow simunits screen compares in exact tick space
 			}
 		}
 
+		// One step shares dt across jobs, so the interval length and the
+		// trace bucket are evaluated once, not per job. Both hoists are
+		// bit-identical to the per-job expressions they replace.
+		dtSec := dt.Seconds()
+		traceIdx := -1
+		if traceBucket > 0 {
+			traceIdx = int((s.now + dt/2) / traceBucket)
+		}
+		finished := false
 		for i, j := range active {
 			if rates[i] <= 0 {
 				continue
 			}
-			bytes := float64(rates[i]) / 8 * dt.Seconds()
+			// ×0.125 is exactly ÷8 for every float64 (the exact quotient
+			// and product coincide, so they round identically) — the same
+			// value as the original rate/8 expression without the divide.
+			bytes := float64(rates[i]) * 0.125 * dtSec
 			if bytes >= j.commRemaining-1e-6 {
 				bytes = j.commRemaining
 			}
 			j.commRemaining -= bytes
 			j.attained += bytes
-			s.recordTrace(j, s.now, dt, bytes)
+			if traceIdx >= 0 {
+				s.addTrace(j, traceIdx, bytes)
+			}
 			if j.commRemaining <= 1e-6 {
 				s.finishComm(j, s.now+dt)
+				finished = true
 			}
+		}
+		if finished {
+			s.compactActive()
 		}
 		s.now += dt
 	}
 	s.now = until
 }
 
+// allocate fills the per-step rate vector, preferring the policy's
+// in-place fast path and falling back to the allocating interface.
+//
+//hot
+func (s *Sim) allocate(active []*Job) []units.Rate {
+	if cap(s.rates) < len(active) {
+		s.rates = make([]units.Rate, len(active))
+	}
+	rates := s.rates[:len(active)]
+	switch {
+	case s.ws:
+		// Direct (devirtualized) call: WeightedShare is stateless and its
+		// in-place path produces the same values MaxMin's single-link
+		// Allocate delegates to, so both policies share this branch.
+		WeightedShare{}.AllocateInto(s.cfg.Capacity, active, rates, &s.scratch)
+	case s.netfill != nil:
+		s.netfill.AllocateNetworkInto(s.cfg.Network, active, rates, &s.scratch)
+	case s.netpol != nil:
+		return s.netpol.AllocateNetwork(s.cfg.Network, active)
+	case s.fill != nil:
+		s.fill.AllocateInto(s.cfg.Capacity, active, rates, &s.scratch)
+	default:
+		return s.cfg.Policy.Allocate(s.cfg.Capacity, active)
+	}
+	return rates
+}
+
+// wakeDueJobs moves jobs whose wake time has arrived into the active set.
+// The cached minWake makes the common case (no wake due) one comparison;
+// a due wake rescans all jobs, which preserves the original index-ordered
+// wake (and telemetry) sequence exactly.
+//
+//hot
 func (s *Sim) wakeDueJobs() {
+	if s.minWake > s.now {
+		return
+	}
+	min := sim.MaxTime
 	for _, j := range s.jobs {
-		if (j.phase == phaseIdle || j.phase == phaseCompute) && j.wakeAt <= s.now {
+		if j.phase == phaseIdle || j.phase == phaseCompute {
+			if j.wakeAt > s.now {
+				if j.wakeAt < min {
+					min = j.wakeAt
+				}
+				continue
+			}
 			j.phase = phaseComm
 			j.commRemaining = j.TotalBytes()
 			j.attained = 0
 			j.CommStarts = append(j.CommStarts, s.now)
+			s.insertActive(j)
 			s.cfg.Telemetry.IterStart(s.now, j.flow, len(j.CommStarts)-1)
 			if n := len(j.CommStarts); n >= 2 {
 				j.IterDurations = append(j.IterDurations, j.CommStarts[n-1]-j.CommStarts[n-2])
 			}
 		}
 	}
+	s.minWake = min
 }
 
-func (s *Sim) activeJobs() []*Job {
-	var out []*Job
-	for _, j := range s.jobs {
+// insertActive places j into the active list keeping ascending flow-id
+// order — the same order the old per-step scan over s.jobs produced.
+func (s *Sim) insertActive(j *Job) {
+	s.active = append(s.active, nil)
+	i := len(s.active) - 1
+	for i > 0 && s.active[i-1].flow > j.flow {
+		s.active[i] = s.active[i-1]
+		i--
+	}
+	s.active[i] = j
+}
+
+// compactActive drops jobs that left the communicating phase during the
+// integration loop, preserving order.
+//
+//hot
+func (s *Sim) compactActive() {
+	k := 0
+	for _, j := range s.active {
 		if j.phase == phaseComm {
-			out = append(out, j)
+			s.active[k] = j
+			k++
 		}
 	}
-	return out
+	for i := k; i < len(s.active); i++ {
+		s.active[i] = nil
+	}
+	s.active = s.active[:k]
 }
 
 // nextBoundary returns the interval to the next wake-up or the step limit.
+//
+//hot
 func (s *Sim) nextBoundary(until sim.Time, active []*Job) sim.Time {
 	dt := until - s.now
 	if len(active) > 0 && s.cfg.Step < dt {
 		dt = s.cfg.Step
 	}
-	for _, j := range s.jobs {
-		if j.phase == phaseIdle || j.phase == phaseCompute {
-			if w := j.wakeAt - s.now; w < dt {
-				dt = w
-			}
+	if s.minWake != sim.MaxTime {
+		if w := s.minWake - s.now; w < dt {
+			dt = w
 		}
 	}
 	if dt < 1 {
@@ -343,24 +483,34 @@ func (s *Sim) finishComm(j *Job, at sim.Time) {
 	}
 	j.phase = phaseCompute
 	j.wakeAt = at + compute
+	if j.wakeAt < s.minWake {
+		s.minWake = j.wakeAt
+	}
 }
 
-func (s *Sim) recordTrace(j *Job, t, dt sim.Time, bytes float64) {
-	if s.cfg.TraceBucket <= 0 {
-		return
-	}
-	idx := int((t + dt/2) / s.cfg.TraceBucket)
-	tr := s.trace[j]
-	for len(tr) <= idx {
-		tr = append(tr, 0)
+func (s *Sim) addTrace(j *Job, idx int, bytes float64) {
+	tr := s.trace[j.flow-1]
+	if len(tr) <= idx {
+		for len(tr) <= idx {
+			tr = append(tr, 0)
+		}
+		s.trace[j.flow-1] = tr // write the header (and its barrier) only on growth
 	}
 	tr[idx] += bytes
-	s.trace[j] = tr
+}
+
+// traceOf returns the recorded bucket series for j, or nil for a job the
+// simulation does not own.
+func (s *Sim) traceOf(j *Job) []float64 {
+	if j.flow < 1 || j.flow > len(s.trace) {
+		return nil
+	}
+	return s.trace[j.flow-1]
 }
 
 // TraceBytes returns the job's recorded per-bucket delivered bytes (empty
 // without TraceBucket).
-func (s *Sim) TraceBytes(j *Job) []float64 { return s.trace[j] }
+func (s *Sim) TraceBytes(j *Job) []float64 { return s.traceOf(j) }
 
 // EmitTrace replays every job's bandwidth buckets as KindBandwidth events
 // (one per non-empty bucket, timestamped at the bucket's end). Call after
@@ -370,7 +520,7 @@ func (s *Sim) EmitTrace(rec *telemetry.Recorder) {
 		return
 	}
 	for _, j := range s.jobs {
-		for i, b := range s.trace[j] {
+		for i, b := range s.traceOf(j) {
 			if b == 0 {
 				continue
 			}
@@ -382,7 +532,7 @@ func (s *Sim) EmitTrace(rec *telemetry.Recorder) {
 // Trace returns the job's recorded bandwidth series in bits per second per
 // bucket (empty without TraceBucket).
 func (s *Sim) Trace(j *Job) []units.Rate {
-	bytes := s.trace[j]
+	bytes := s.traceOf(j)
 	out := make([]units.Rate, len(bytes))
 	for i, b := range bytes {
 		out[i] = units.Rate(b * 8 / s.cfg.TraceBucket.Seconds())

@@ -58,8 +58,17 @@ func (MaxMin) Allocate(capacity units.Rate, active []*Job) []units.Rate {
 	return WeightedShare{}.Allocate(capacity, active)
 }
 
-// AllocateNetwork implements NetworkPolicy by progressive filling. Each
-// round finds the link that saturates first — the minimum of
+// AllocateNetwork implements NetworkPolicy by progressive filling; it is
+// the allocating wrapper around AllocateNetworkInto.
+func (p MaxMin) AllocateNetwork(nw *Network, active []*Job) []units.Rate {
+	rates := make([]units.Rate, len(active))
+	var sc AllocScratch
+	p.AllocateNetworkInto(nw, active, rates, &sc)
+	return rates
+}
+
+// AllocateNetworkInto implements NetworkFiller by progressive filling.
+// Each round finds the link that saturates first — the minimum of
 // headroom/Σweights over links still carrying unfrozen flows — freezes
 // every unfrozen flow crossing it at its weighted share of the
 // remaining headroom, and charges those rates to every link on the
@@ -69,42 +78,80 @@ func (MaxMin) Allocate(capacity units.Rate, active []*Job) []units.Rate {
 // The result satisfies the allocator invariants pinned by maxmin_test.go:
 // per-link conservation, at least one saturated link on every flow's
 // path, and rates proportional to weights among flows sharing a
-// bottleneck.
-func (MaxMin) AllocateNetwork(nw *Network, active []*Job) []units.Rate {
+// bottleneck. The scratch records each flow's freezing link in
+// sc.Bottleneck.
+//
+//hot
+func (MaxMin) AllocateNetworkInto(nw *Network, active []*Job, rates []units.Rate, sc *AllocScratch) {
 	n := len(active)
-	rates := make([]units.Rate, n)
+	for i := range rates {
+		rates[i] = 0
+	}
 	if n == 0 {
-		return rates
+		return
 	}
 	nl := len(nw.Capacities)
-	load := make([]float64, nl) // frozen rate charged to each link
-	wsum := make([]float64, nl) // unfrozen weight crossing each link
-	done := make([]bool, nl)    // link already chosen as a bottleneck
-	frozen := make([]bool, n)
-	weights := make([]float64, n)
+	sc.links(nl)
+	sc.flows(n)
+	load, wsum, done := sc.Load, sc.WSum, sc.Done
+	frozen, weights := sc.Frozen, sc.Weights
+
+	// Clear the weight sums the previous call left behind (exactly the
+	// previous candidate set, possibly beyond this call's nl when the
+	// scratch served a larger fabric — the capacity view covers both),
+	// then charge every active flow's weight along its path.
+	wfull := sc.WSum[:cap(sc.WSum)]
+	for _, l := range sc.cands {
+		wfull[l] = 0
+	}
+	sc.cands = sc.cands[:0]
 	for i, j := range active {
 		if len(j.Path) == 0 {
-			panic(fmt.Sprintf("fluid: job %s has no path", j.Spec.Label()))
+			panicNoPath(j)
 		}
 		weights[i] = j.Weight()
 	}
-
-	for remaining := n; remaining > 0; {
-		for l := range wsum {
-			wsum[l] = 0
+	for i, j := range active {
+		for _, l := range j.Path {
+			wsum[l] += weights[i]
 		}
-		for i, j := range active {
-			if frozen[i] {
-				continue
+	}
+	// Candidate links — those crossed by any active flow with positive
+	// weight — in ascending index order, so the bottleneck tie-break
+	// (lowest index first) is identical to a full scan: every skipped
+	// link has wsum == 0 in this and every later round (weights are
+	// non-negative and the unfrozen set only shrinks), so the full scan
+	// would skip it too. Load and Done are cleared candidate-wise; the
+	// rest of the fabric keeps stale values nothing below reads.
+	for l := 0; l < nl; l++ {
+		if wsum[l] > 0 {
+			sc.cands = append(sc.cands, l)
+			load[l] = 0
+			done[l] = false
+		}
+	}
+	cands := sc.cands
+
+	for remaining, first := n, true; remaining > 0; {
+		if first {
+			first = false // round 1's weight sums were computed above
+		} else {
+			for _, l := range cands {
+				wsum[l] = 0
 			}
-			for _, l := range j.Path {
-				wsum[l] += weights[i]
+			for i, j := range active {
+				if frozen[i] {
+					continue
+				}
+				for _, l := range j.Path {
+					wsum[l] += weights[i]
+				}
 			}
 		}
 		// The next bottleneck: least headroom per unit of unfrozen weight.
 		bottleneck := -1
 		var bottleneckFill float64
-		for l := 0; l < nl; l++ {
+		for _, l := range cands {
 			if done[l] || wsum[l] <= 0 {
 				continue
 			}
@@ -144,6 +191,7 @@ func (MaxMin) AllocateNetwork(nw *Network, active []*Job) []units.Rate {
 			r := headroom * weights[i] / wsum[bottleneck]
 			rates[i] = units.Rate(r)
 			frozen[i] = true
+			sc.Bottleneck[i] = bottleneck
 			remaining--
 			for _, l := range j.Path {
 				load[l] += r
@@ -151,5 +199,10 @@ func (MaxMin) AllocateNetwork(nw *Network, active []*Job) []units.Rate {
 		}
 		done[bottleneck] = true
 	}
-	return rates
+}
+
+// panicNoPath keeps the panic formatting (whose fmt arguments box) out
+// of the //hot allocator body.
+func panicNoPath(j *Job) {
+	panic(fmt.Sprintf("fluid: job %s has no path", j.Spec.Label()))
 }

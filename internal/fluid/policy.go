@@ -24,19 +24,36 @@ type WeightedShare struct{}
 func (WeightedShare) Name() string { return "weighted-share" }
 
 // Allocate implements Policy.
-func (WeightedShare) Allocate(capacity units.Rate, active []*Job) []units.Rate {
+func (p WeightedShare) Allocate(capacity units.Rate, active []*Job) []units.Rate {
 	rates := make([]units.Rate, len(active))
+	var sc AllocScratch
+	p.AllocateInto(capacity, active, rates, &sc)
+	return rates
+}
+
+// AllocateInto implements Filler. Each job's weight is evaluated once and
+// cached in the scratch — Weight() is a pure function of state that does
+// not change within one allocation, so the cached value is bit-identical
+// to re-evaluating it in the second loop.
+//
+//hot
+func (WeightedShare) AllocateInto(capacity units.Rate, active []*Job, rates []units.Rate, sc *AllocScratch) {
+	weights := sc.weights(len(active))
 	var sum float64
-	for _, j := range active {
-		sum += j.Weight()
+	for i, j := range active {
+		w := j.Weight()
+		weights[i] = w
+		sum += w
 	}
 	if sum <= 0 {
-		return rates
+		for i := range rates {
+			rates[i] = 0
+		}
+		return
 	}
-	for i, j := range active {
-		rates[i] = units.Rate(float64(capacity) * j.Weight() / sum)
+	for i := range active {
+		rates[i] = units.Rate(float64(capacity) * weights[i] / sum)
 	}
-	return rates
 }
 
 // SRPT gives the whole link to the job with the least remaining bytes

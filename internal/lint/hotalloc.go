@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotAllocPaths are the packages whose //hot-marked functions form the
+// simulator's dispatch-rate-critical path: the event engine, the fluid
+// integrator, and the packet fabric.
+var hotAllocPaths = []string{
+	"mltcp/internal/sim",
+	"mltcp/internal/fluid",
+	"mltcp/internal/netsim",
+}
+
+// HotAlloc enforces the hot-path allocation discipline: functions marked
+// with a standalone `//hot` doc-comment line must not allocate per call.
+// The two allocation shapes the compiler cannot always elide — and which
+// this repo's refactors specifically removed — are closure literals
+// (each evaluation heap-allocates the captured environment) and value-to-
+// interface conversions (boxing copies the value to the heap). Pointer,
+// map, channel, and func values convert without allocating, so passing
+// `&handler` into an interface parameter stays clean.
+//
+// The check is syntactic per call site, deliberately stricter than the
+// escape analyzer: a finding on a genuinely cold line inside a hot
+// function (panic formatting, error paths) is justified with
+// `//lint:allow hotalloc <reason>` rather than restructured.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: `keep //hot functions allocation-free
+
+Functions whose doc comment contains a standalone //hot line are on the
+per-event dispatch path. Closure literals and non-pointer value-to-
+interface conversions inside them allocate on every call; hoist captured
+state into a pre-bound handler struct, or pass pointers. Cold lines
+inside hot functions (panic messages) carry a justified //lint:allow.`,
+	AppliesTo: func(path string) bool {
+		for _, p := range hotAllocPaths {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotMarked(fd) {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hotMarked reports whether the function's doc comment contains a
+// standalone //hot line (the convention: last line of the doc block).
+func hotMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == "//hot" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"closure literal in //hot function %s allocates its capture environment per call; hoist state into a pre-bound handler struct", name)
+			return false // the literal's own body is a different function
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags interface boxing at a call: an explicit conversion
+// to an interface type, or a concrete non-pointer argument passed to an
+// interface-typed parameter (including the variadic ...any of the fmt
+// functions).
+func checkHotCall(pass *Pass, fnName string, call *ast.CallExpr) {
+	if target, ok := isConversion(pass.TypesInfo, call); ok {
+		if !types.IsInterface(target.Underlying()) {
+			return
+		}
+		if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && boxes(tv.Type) && tv.Value == nil {
+			pass.Reportf(call.Pos(),
+				"conversion of %s to interface %s in //hot function %s boxes the value per call", tv.Type, target, fnName)
+		}
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return // builtins (append, panic) have no signature here
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				return // a []T passed whole: no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			return
+		}
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		atv, ok := pass.TypesInfo.Types[arg]
+		if !ok || !boxes(atv.Type) {
+			continue
+		}
+		if atv.Value != nil {
+			continue // constants box into static interface data, no allocation
+		}
+		pass.Reportf(arg.Pos(),
+			"value of type %s passed to interface parameter in //hot function %s boxes per call; pass a pointer or pre-bind the handler", atv.Type, fnName)
+	}
+}
+
+// boxes reports whether converting a value of type t to an interface
+// allocates. Interface values hold one word directly, so pointer-shaped
+// types (pointers, maps, channels, funcs) and nil convert for free;
+// everything else is copied to the heap.
+func boxes(t types.Type) bool {
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return false
+	}
+	return true
+}

@@ -1,9 +1,10 @@
-// Package lint is mltcp's static-analysis suite: four analyzers that
+// Package lint is mltcp's static-analysis suite: five analyzers that
 // enforce the invariants the simulator's tests can only spot-check —
 // determinism (no wall clock, no global randomness, no map-order leaks),
 // unit discipline (integer-nanosecond time never silently mixed with
 // float seconds), telemetry emission hygiene (nil-receiver-safe
-// recorders, integer-ns timestamps), and registry-sourced CLI names.
+// recorders, integer-ns timestamps), registry-sourced CLI names, and an
+// allocation-free discipline for //hot-marked event-path functions.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis —
 // Analyzer, Pass, Diagnostic — but is built on the standard library
@@ -180,7 +181,7 @@ func Analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 
 // Analyzers returns the full suite in presentation order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SimDeterminism, SimUnits, TelemetryEmit, RegistryName}
+	return []*Analyzer{SimDeterminism, SimUnits, TelemetryEmit, RegistryName, HotAlloc}
 }
 
 // --- shared type/AST helpers used by the analyzers ---

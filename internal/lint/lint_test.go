@@ -42,6 +42,11 @@ func TestRegistryNameFixture(t *testing.T) {
 		"testdata/registryname/fixture.go")
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	linttest.Run(t, lint.HotAlloc, "mltcp/internal/sim",
+		"testdata/hotalloc/fixture.go")
+}
+
 // TestScoping pins each analyzer's package-path scope: simulation rules
 // stay out of cmd/*, the conversion-defining packages stay exempt, and
 // registry-name checks never fire inside internal/*.
@@ -60,6 +65,10 @@ func TestScoping(t *testing.T) {
 		{lint.TelemetryEmit, "mltcp/internal/backend", true},
 		{lint.RegistryName, "mltcp/cmd/mltcp-trace", true},
 		{lint.RegistryName, "mltcp/internal/backend", false},
+		{lint.HotAlloc, "mltcp/internal/sim", true},
+		{lint.HotAlloc, "mltcp/internal/netsim", true},
+		{lint.HotAlloc, "mltcp/internal/tcp", false},
+		{lint.HotAlloc, "mltcp/internal/backend", false},
 	}
 	for _, c := range cases {
 		if got := c.a.AppliesTo(c.path); got != c.want {

@@ -46,6 +46,48 @@ type Link struct {
 	stats       LinkStats
 	taps        []Tap
 	rec         *telemetry.Recorder
+
+	pool    *PacketPool // shared terminal-event recycler (nil: no recycling)
+	tx      txDone      // the one in-flight serialization-complete handler
+	freeDel *delivery   // free list of propagation-delivery handlers
+}
+
+// txDone is the pre-bound serialization-complete handler. A link
+// serializes one packet at a time (guarded by busy), so a single record
+// embedded in the Link replaces the closure the old code allocated per
+// transmission.
+type txDone struct {
+	l *Link
+	p *Packet
+}
+
+// HandleEvent implements sim.EventHandler.
+func (t *txDone) HandleEvent(e *sim.Engine) {
+	p := t.p
+	t.p = nil
+	t.l.finishTransmission(e, p)
+}
+
+// delivery carries one packet across the propagation delay. Multiple
+// deliveries are in flight at once (the wire is a pipeline), so these are
+// free-listed per link rather than embedded.
+type delivery struct {
+	l    *Link
+	p    *Packet
+	next *delivery
+}
+
+// HandleEvent implements sim.EventHandler. The record is recycled before
+// dispatching: the engine has already released the event, so nothing
+// references d, and the receive path may immediately reuse it.
+//
+//hot
+func (d *delivery) HandleEvent(e *sim.Engine) {
+	l, p := d.l, d.p
+	d.p = nil
+	d.next = l.freeDel
+	l.freeDel = d
+	l.dst.Receive(e, p)
 }
 
 // Tap observes every packet the link finishes serializing (before any
@@ -63,12 +105,19 @@ func NewLink(eng *sim.Engine, name string, rate units.Rate, delay sim.Time, queu
 		panic(fmt.Sprintf("netsim: link %s with negative delay", name))
 	}
 	l := &Link{eng: eng, name: name, rate: rate, delay: delay, queue: queue, dst: dst}
+	l.tx.l = l
 	queue.SetDropCallback(func(p *Packet) {
 		l.stats.PacketsDropped++
 		l.rec.Drop(l.eng.Now(), l.name, int(p.Flow), l.queue.Bytes())
+		l.pool.Put(p) // a dropped packet's terminal event
 	})
 	return l
 }
+
+// SetPool attaches the topology's packet recycler: packets dropped by the
+// queue or lost on the wire are returned to it. Nil (the default) leaves
+// them to the garbage collector.
+func (l *Link) SetPool(pp *PacketPool) { l.pool = pp }
 
 // Name returns the link's diagnostic name.
 func (l *Link) Name() string { return l.name }
@@ -112,6 +161,7 @@ func (l *Link) Send(p *Packet) {
 // Receive implements Receiver.
 func (l *Link) Receive(_ *sim.Engine, p *Packet) { l.Send(p) }
 
+//hot
 func (l *Link) startTransmission() {
 	p := l.queue.Dequeue()
 	if p == nil {
@@ -120,28 +170,39 @@ func (l *Link) startTransmission() {
 	}
 	l.busy = true
 	txTime := l.rate.TransmissionTime(int64(p.WireSize()))
-	l.eng.After(txTime, func(e *sim.Engine) {
-		l.stats.PacketsSent++
-		l.stats.BytesSent += int64(p.WireSize())
-		for _, tap := range l.taps {
-			tap(e.Now(), p)
+	l.tx.p = p
+	l.eng.AfterHandler(txTime, &l.tx)
+}
+
+//hot
+func (l *Link) finishTransmission(e *sim.Engine, p *Packet) {
+	l.stats.PacketsSent++
+	l.stats.BytesSent += int64(p.WireSize())
+	for _, tap := range l.taps {
+		tap(e.Now(), p)
+	}
+	if l.LossProb > 0 && l.RNG != nil && l.RNG.Float64() < l.LossProb {
+		l.stats.PacketsLost++
+		l.pool.Put(p) // lost on the wire: terminal event
+	} else {
+		delay := l.delay
+		if l.JitterStd > 0 && l.RNG != nil {
+			delay = l.RNG.NormDuration(l.delay, l.JitterStd, 0)
 		}
-		if l.LossProb > 0 && l.RNG != nil && l.RNG.Float64() < l.LossProb {
-			l.stats.PacketsLost++
+		arrival := e.Now() + delay
+		if arrival <= l.lastArrival {
+			arrival = l.lastArrival + 1
+		}
+		l.lastArrival = arrival
+		d := l.freeDel
+		if d == nil {
+			d = &delivery{l: l}
 		} else {
-			delay := l.delay
-			if l.JitterStd > 0 && l.RNG != nil {
-				delay = l.RNG.NormDuration(l.delay, l.JitterStd, 0)
-			}
-			arrival := e.Now() + delay
-			if arrival <= l.lastArrival {
-				arrival = l.lastArrival + 1
-			}
-			l.lastArrival = arrival
-			e.At(arrival, func(e2 *sim.Engine) {
-				l.dst.Receive(e2, p)
-			})
+			l.freeDel = d.next
+			d.next = nil
 		}
-		l.startTransmission()
-	})
+		d.p = p
+		e.AtHandler(arrival, d)
+	}
+	l.startTransmission()
 }

@@ -47,6 +47,7 @@ type Host struct {
 	name      string
 	uplink    *Link
 	endpoints map[FlowID]Endpoint
+	pool      *PacketPool // shared with the topology; nil disables recycling
 }
 
 // NewHost creates a host. The uplink is attached later with SetUplink so
@@ -68,6 +69,17 @@ func (h *Host) SetUplink(l *Link) { h.uplink = l }
 // Uplink returns the host's outbound link.
 func (h *Host) Uplink() *Link { return h.uplink }
 
+// SetPool attaches the topology's packet recycler. Endpoints obtain
+// outbound packets from NewPacket and the host returns every dispatched
+// inbound packet to the pool.
+func (h *Host) SetPool(pp *PacketPool) { h.pool = pp }
+
+// NewPacket returns a zeroed packet for an endpoint to populate and Send,
+// drawn from the topology pool when one is attached.
+//
+//hot
+func (h *Host) NewPacket() *Packet { return h.pool.Get() }
+
 // Attach registers the endpoint handling the given flow. Attaching a second
 // endpoint for the same flow panics: it is always a wiring bug.
 func (h *Host) Attach(flow FlowID, ep Endpoint) {
@@ -88,11 +100,22 @@ func (h *Host) Send(p *Packet) {
 
 // Receive implements Receiver, dispatching to the flow's endpoint. Packets
 // for unknown flows panic: the simulator never produces stray traffic, so
-// an unknown flow is a wiring bug.
+// an unknown flow is a wiring bug. Dispatch is a packet's terminal event:
+// endpoints consume fields synchronously and never retain the struct, so
+// it is recycled as soon as HandlePacket returns.
+//
+//hot
 func (h *Host) Receive(eng *sim.Engine, p *Packet) {
 	ep, ok := h.endpoints[p.Flow]
 	if !ok {
-		panic(fmt.Sprintf("netsim: host %s received packet for unknown flow %d", h.name, p.Flow))
+		h.panicUnknownFlow(p)
 	}
 	ep.HandlePacket(eng, p)
+	h.pool.Put(p)
+}
+
+// panicUnknownFlow keeps the panic formatting (whose fmt arguments box)
+// out of the //hot dispatch body.
+func (h *Host) panicUnknownFlow(p *Packet) {
+	panic(fmt.Sprintf("netsim: host %s received packet for unknown flow %d", h.name, p.Flow))
 }

@@ -63,26 +63,29 @@ func NewParkingLot(eng *sim.Engine, cfg ParkingLotConfig) *ParkingLot {
 	}
 
 	p := &ParkingLot{}
+	pool := NewPacketPool()
 	nextID := NodeID(0)
 	id := func() NodeID { nextID++; return nextID - 1 }
+	pooled := func(l *Link) *Link { l.SetPool(pool); return l }
 
 	for s := 0; s < cfg.Switches; s++ {
 		p.Switches = append(p.Switches, NewSwitch(id(), fmt.Sprintf("sw-%d", s)))
 	}
 	for s := 0; s < cfg.Switches-1; s++ {
-		p.Fwd = append(p.Fwd, NewLink(eng, fmt.Sprintf("trunk-%d-%d", s, s+1),
-			cfg.TrunkRate, cfg.TrunkDelay, trunkQueue(), p.Switches[s+1]))
-		p.Rev = append(p.Rev, NewLink(eng, fmt.Sprintf("trunk-%d-%d", s+1, s),
-			cfg.TrunkRate, cfg.TrunkDelay, trunkQueue(), p.Switches[s]))
+		p.Fwd = append(p.Fwd, pooled(NewLink(eng, fmt.Sprintf("trunk-%d-%d", s, s+1),
+			cfg.TrunkRate, cfg.TrunkDelay, trunkQueue(), p.Switches[s+1])))
+		p.Rev = append(p.Rev, pooled(NewLink(eng, fmt.Sprintf("trunk-%d-%d", s+1, s),
+			cfg.TrunkRate, cfg.TrunkDelay, trunkQueue(), p.Switches[s])))
 	}
 
 	for s := 0; s < cfg.Switches; s++ {
 		var hosts []*Host
 		for h := 0; h < cfg.HostsPerSwitch; h++ {
 			host := NewHost(id(), fmt.Sprintf("h%d-%d", s, h))
-			host.SetUplink(NewLink(eng, host.Name()+"-up", cfg.HostRate, cfg.HostDelay, edgeQueue(), p.Switches[s]))
-			p.Switches[s].AddRoute(host.ID(), NewLink(eng, host.Name()+"-down",
-				cfg.HostRate, cfg.HostDelay, edgeQueue(), host))
+			host.SetPool(pool)
+			host.SetUplink(pooled(NewLink(eng, host.Name()+"-up", cfg.HostRate, cfg.HostDelay, edgeQueue(), p.Switches[s])))
+			p.Switches[s].AddRoute(host.ID(), pooled(NewLink(eng, host.Name()+"-down",
+				cfg.HostRate, cfg.HostDelay, edgeQueue(), host)))
 			hosts = append(hosts, host)
 		}
 		p.Hosts = append(p.Hosts, hosts)

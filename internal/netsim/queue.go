@@ -16,12 +16,59 @@ type Queue interface {
 	SetDropCallback(func(*Packet))
 }
 
+// pktRing is a growable circular FIFO of packets. Unlike the slice-append /
+// reslice idiom (`q.pkts = q.pkts[1:]`), the backing array is reused in
+// place, so a steady-state queue performs zero allocations: capacity grows
+// to the high-water mark once and every later push lands in a recycled
+// slot. Capacity is kept a power of two so the wrap is a mask.
+type pktRing struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+//hot
+func (r *pktRing) push(p *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+func (r *pktRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	nb := make([]*Packet, size)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+//hot
+func (r *pktRing) pop() *Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+func (r *pktRing) len() int { return r.n }
+
 // DropTail is the classic FIFO queue with a byte capacity: arriving packets
 // that do not fit are dropped.
 type DropTail struct {
 	capacity int64
 	bytes    int64
-	pkts     []*Packet
+	pkts     pktRing
 	onDrop   func(*Packet)
 }
 
@@ -34,30 +81,32 @@ func NewDropTail(capacity int64) *DropTail {
 }
 
 // Enqueue implements Queue.
+//
+//hot
 func (q *DropTail) Enqueue(p *Packet) bool {
 	if q.bytes+int64(p.WireSize()) > q.capacity {
 		q.drop(p)
 		return false
 	}
-	q.pkts = append(q.pkts, p)
+	q.pkts.push(p)
 	q.bytes += int64(p.WireSize())
 	return true
 }
 
 // Dequeue implements Queue.
+//
+//hot
 func (q *DropTail) Dequeue() *Packet {
-	if len(q.pkts) == 0 {
+	p := q.pkts.pop()
+	if p == nil {
 		return nil
 	}
-	p := q.pkts[0]
-	q.pkts[0] = nil
-	q.pkts = q.pkts[1:]
 	q.bytes -= int64(p.WireSize())
 	return p
 }
 
 // Len implements Queue.
-func (q *DropTail) Len() int { return len(q.pkts) }
+func (q *DropTail) Len() int { return q.pkts.len() }
 
 // Bytes implements Queue.
 func (q *DropTail) Bytes() int64 { return q.bytes }
@@ -175,7 +224,7 @@ func (q *PFabricQueue) SetDropCallback(fn func(*Packet)) { q.onDrop = fn }
 type StrictPriorityQueue struct {
 	capacity int64
 	bytes    int64
-	bands    [][]*Packet
+	bands    []pktRing
 	onDrop   func(*Packet)
 }
 
@@ -188,12 +237,14 @@ func NewStrictPriorityQueue(bands int, capacity int64) *StrictPriorityQueue {
 	if capacity <= 0 {
 		panic("netsim: StrictPriorityQueue capacity must be positive")
 	}
-	return &StrictPriorityQueue{capacity: capacity, bands: make([][]*Packet, bands)}
+	return &StrictPriorityQueue{capacity: capacity, bands: make([]pktRing, bands)}
 }
 
 // Enqueue implements Queue. Packets with out-of-range bands are clamped to
 // the lowest-priority band rather than dropped, since band assignment is a
 // host-side tagging policy.
+//
+//hot
 func (q *StrictPriorityQueue) Enqueue(p *Packet) bool {
 	if q.bytes+int64(p.WireSize()) > q.capacity {
 		if q.onDrop != nil {
@@ -208,18 +259,17 @@ func (q *StrictPriorityQueue) Enqueue(p *Packet) bool {
 	if b >= len(q.bands) {
 		b = len(q.bands) - 1
 	}
-	q.bands[b] = append(q.bands[b], p)
+	q.bands[b].push(p)
 	q.bytes += int64(p.WireSize())
 	return true
 }
 
 // Dequeue implements Queue.
+//
+//hot
 func (q *StrictPriorityQueue) Dequeue() *Packet {
 	for b := range q.bands {
-		if len(q.bands[b]) > 0 {
-			p := q.bands[b][0]
-			q.bands[b][0] = nil
-			q.bands[b] = q.bands[b][1:]
+		if p := q.bands[b].pop(); p != nil {
 			q.bytes -= int64(p.WireSize())
 			return p
 		}
@@ -230,8 +280,8 @@ func (q *StrictPriorityQueue) Dequeue() *Packet {
 // Len implements Queue.
 func (q *StrictPriorityQueue) Len() int {
 	n := 0
-	for _, b := range q.bands {
-		n += len(b)
+	for i := range q.bands {
+		n += q.bands[i].len()
 	}
 	return n
 }

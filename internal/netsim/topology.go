@@ -88,9 +88,10 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 	}
 
 	d := &Dumbbell{}
+	pool := NewPacketPool()
 	nextID := NodeID(0)
 	id := func() NodeID { nextID++; return nextID - 1 }
-	track := func(l *Link) *Link { d.links = append(d.links, l); return l }
+	track := func(l *Link) *Link { l.SetPool(pool); d.links = append(d.links, l); return l }
 
 	d.LeftSwitch = NewSwitch(id(), "sw-left")
 	d.RightSwitch = NewSwitch(id(), "sw-right")
@@ -105,6 +106,8 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 	for i := 0; i < cfg.HostPairs; i++ {
 		lh := NewHost(id(), fmt.Sprintf("left-%d", i))
 		rh := NewHost(id(), fmt.Sprintf("right-%d", i))
+		lh.SetPool(pool)
+		rh.SetPool(pool)
 		d.Left = append(d.Left, lh)
 		d.Right = append(d.Right, rh)
 

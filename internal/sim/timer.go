@@ -21,14 +21,22 @@ func NewTimer(e *Engine, fn Handler) *Timer {
 }
 
 // Reset arms the timer to fire d from now, replacing any pending expiry.
+// The timer schedules itself as an EventHandler, so re-arming (the common
+// RTO/pacing pattern) allocates nothing.
+//
+//hot
 func (t *Timer) Reset(d Time) {
 	t.Stop()
 	t.expiry = t.e.Now() + d
-	t.id = t.e.After(d, func(e *Engine) {
-		t.armed = false
-		t.fn(e)
-	})
+	t.id = t.e.AfterHandler(d, t)
 	t.armed = true
+}
+
+// HandleEvent fires the timer. It implements EventHandler; simulation
+// code never calls it directly.
+func (t *Timer) HandleEvent(e *Engine) {
+	t.armed = false
+	t.fn(e)
 }
 
 // Stop disarms the timer. Stopping a stopped timer is a no-op.

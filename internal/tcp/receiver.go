@@ -127,14 +127,15 @@ func (r *Receiver) flushDelayedAck() {
 	r.sendAck(r.pendingEcho, r.pendingECN)
 }
 
+//hot
 func (r *Receiver) sendAck(echoTS sim.Time, ecnEcho bool) {
 	r.acksSent++
-	r.host.Send(&netsim.Packet{
-		Flow:    r.flow,
-		Dst:     r.replyTo,
-		Ack:     true,
-		AckNo:   r.rcvNxt,
-		SentAt:  echoTS,
-		ECNEcho: ecnEcho,
-	})
+	p := r.host.NewPacket() // zeroed, so assignment matches a fresh literal
+	p.Flow = r.flow
+	p.Dst = r.replyTo
+	p.Ack = true
+	p.AckNo = r.rcvNxt
+	p.SentAt = echoTS
+	p.ECNEcho = ecnEcho
+	r.host.Send(p)
 }

@@ -275,15 +275,15 @@ func (s *Sender) trySend(now sim.Time) {
 	}
 }
 
+//hot
 func (s *Sender) emit(now sim.Time, seq int64, payload int, isRetx bool) {
-	p := &netsim.Packet{
-		Flow:       s.flow,
-		Dst:        s.dst,
-		Seq:        seq,
-		Payload:    payload,
-		ECNCapable: s.cfg.ECN,
-		SentAt:     now,
-	}
+	p := s.host.NewPacket() // zeroed, so assignment matches a fresh literal
+	p.Flow = s.flow
+	p.Dst = s.dst
+	p.Seq = seq
+	p.Payload = payload
+	p.ECNCapable = s.cfg.ECN
+	p.SentAt = now
 	if isRetx {
 		p.SentAt = 0 // Karn: no RTT sample from retransmits
 		s.stats.Retransmits++
