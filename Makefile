@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet-lint bench bench-baseline profile clean
+.PHONY: build test race lint vet-lint bench bench-baseline corpus train profile clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,19 @@ bench:
 # Regenerate the baseline after a deliberate performance change.
 bench-baseline:
 	$(GO) run ./cmd/mltcp-bench -out bench/baseline.json
+
+# Learned-backend pipeline (docs/EXTENDING.md §11). `make corpus` fans
+# the training grid over the harness; GRID=quick generates the CI-sized
+# corpus in seconds, GRID=full the production corpus in minutes. `make
+# train` refits the checked-in default model from that corpus and fails
+# if the tracked prediction error exceeds the 10% acceptance gate.
+GRID ?= full
+corpus:
+	$(GO) run ./cmd/mltcp-corpus -grid $(GRID) -seed 1 -out corpus-$(GRID).jsonl
+
+train:
+	$(GO) run ./cmd/mltcp-train -corpus corpus-$(GRID).jsonl -seed 1 \
+		-out internal/learn/models/default.json -maxerr 0.10
 
 # Profile the quick suite: CPU + heap profiles under profiles/, ready
 # for `go tool pprof profiles/cpu.pprof`. Profiling perturbs wall time

@@ -154,8 +154,24 @@ func compareMain(args []string) int {
 		return 1
 	}
 
+	newByName := make(map[string]obs.BenchPoint, len(newF.Points))
+	for _, p := range newF.Points {
+		newByName[p.Name] = p
+	}
 	for _, name := range rep.NewPoints {
-		fmt.Printf("new point %s (no baseline)\n", name)
+		// A new point has nothing to diff against, so print its figures with
+		// their gating direction — the values the next baseline will hold.
+		fmt.Printf("new point %s (no baseline; gates once baselined):\n", name)
+		for _, mv := range obs.PointMetrics(newByName[name]) {
+			dir := "lower is better"
+			if mv.HigherIsBetter {
+				dir = "higher is better"
+			}
+			if !mv.Gated {
+				dir += ", informational"
+			}
+			fmt.Printf("  %s=%s (%s)\n", mv.Name, compact(mv.Value), dir)
+		}
 	}
 	for _, d := range rep.Warnings {
 		fmt.Printf("WARN %s %s: %s -> %s (%+.1f%%)\n",

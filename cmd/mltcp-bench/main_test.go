@@ -138,6 +138,61 @@ func TestCompareMainExitCodes(t *testing.T) {
 	}
 }
 
+// A point present only in the new file must not gate, and its output must
+// label each metric's regression direction so the reader knows how the
+// figures will gate once baselined.
+func TestCompareMainNewPointLabelsDirections(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f *obs.BenchFile) string {
+		path := filepath.Join(dir, name)
+		of, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteBench(of, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := of.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := *quickFile
+	old.Points = quickFile.Points[:len(quickFile.Points)-1]
+	base := write("base.json", &old)
+	full := write("full.json", quickFile)
+
+	stdout := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := compareMain([]string{base, full})
+	os.Stdout = stdout
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("new point gated the comparison (exit %d):\n%s", code, buf.String())
+	}
+	out := buf.String()
+	added := quickFile.Points[len(quickFile.Points)-1].Name
+	if !strings.Contains(out, "new point "+added) {
+		t.Fatalf("new point %s not reported:\n%s", added, out)
+	}
+	for _, want := range []string{
+		"wall_ns_min=", "lower is better",
+		"events_per_sec=", "higher is better, informational",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("new-point output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestBenchMainQuickWritesFile(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the quick suite a second time")

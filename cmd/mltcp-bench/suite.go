@@ -24,6 +24,13 @@ type suitePoint struct {
 	// across the harness worker pool and times the whole grid (measuring
 	// harness overhead and worker utilization) instead of a single run.
 	sweepRuns int
+	// opsPerRep, when positive, runs the scenario that many times
+	// back-to-back inside each timed rep and records per-op figures
+	// (wall, events, allocs divided by the op count) — the testing.B
+	// treatment for microsecond-scale points (the learned backend),
+	// whose single-run wall is otherwise dominated by one-off allocator
+	// warmup after the pre-rep GC. Mutually exclusive with sweepRuns.
+	opsPerRep int
 }
 
 // scenario builds a suite scenario from a profile list.
@@ -44,10 +51,12 @@ func clusterPoint(o experiments.ClusterOpts) *config.Scenario {
 	return experiments.ClusterScenario(o)
 }
 
-// fullSuite is the pinned scenario grid: both fidelities, job counts
-// scaling 2→8, one mixed-model point, one cluster-scale fabric point,
-// and one harness sweep. Names are the comparison keys — renaming a
-// point orphans its trajectory.
+// fullSuite is the pinned scenario grid: all three fidelity tiers, job
+// counts scaling 2→8, one mixed-model point, one cluster-scale fabric
+// point, learned points mirroring the fluid canonical and cluster points
+// (their speedup ratio is the learned tier's headline figure), and one
+// harness sweep. Names are the comparison keys — renaming a point
+// orphans its trajectory.
 func fullSuite() []suitePoint {
 	return []suitePoint{
 		{name: "fluid/two-gpt2", backendName: backend.NameFluid,
@@ -63,6 +72,12 @@ func fullSuite() []suitePoint {
 			scenario: scenario("bench-packet-four-gpt2", 20, "gpt2", "gpt2", "gpt2", "gpt2")},
 		{name: "cluster/fattree8-100j", backendName: backend.NameFluid,
 			scenario: clusterPoint(experiments.ClusterOpts{Seed: 11})},
+		{name: "learned/two-gpt2", backendName: backend.NameLearned,
+			scenario:  scenario("bench-learned-two-gpt2", 120, "gpt2", "gpt2"),
+			opsPerRep: 32},
+		{name: "learned/cluster-fattree8-100j", backendName: backend.NameLearned,
+			scenario:  clusterPoint(experiments.ClusterOpts{Seed: 11}),
+			opsPerRep: 8},
 		{name: "sweep/fluid-two-gpt2-x8", backendName: backend.NameFluid,
 			scenario:  scenario("bench-sweep-fluid-two-gpt2", 120, "gpt2", "gpt2"),
 			sweepRuns: 8},
@@ -87,6 +102,9 @@ func quickSuite() []suitePoint {
 				DurationSec:       10,
 				Seed:              11,
 			})},
+		{name: "learned/two-gpt2", backendName: backend.NameLearned,
+			scenario:  scenario("bench-learned-two-gpt2", 30, "gpt2", "gpt2"),
+			opsPerRep: 32},
 		{name: "sweep/fluid-two-gpt2-x4", backendName: backend.NameFluid,
 			scenario:  scenario("bench-sweep-fluid-two-gpt2", 30, "gpt2", "gpt2"),
 			sweepRuns: 4},
@@ -173,6 +191,10 @@ func runBenchPoint(ctx context.Context, cfg benchConfig, pt suitePoint) (*obs.Be
 	// Timed reps: telemetry off (measuring the simulator, not the trace
 	// encoder), obs collector on, a GC before each rep so allocation
 	// deltas are attributable to the rep.
+	ops := pt.opsPerRep
+	if ops < 1 {
+		ops = 1
+	}
 	var walls []time.Duration
 	var allocs, allocBytes, repPeakHeaps []uint64
 	var repMaxDepths []int
@@ -187,17 +209,20 @@ func runBenchPoint(ctx context.Context, cfg benchConfig, pt suitePoint) (*obs.Be
 				return nil, err
 			}
 		} else {
-			if _, err := b.Run(rctx, scn, cfg.seed); err != nil {
-				return nil, err
+			for o := 0; o < ops; o++ {
+				if _, err := b.Run(rctx, scn, cfg.seed); err != nil {
+					return nil, err
+				}
 			}
 		}
-		wall := sw.Elapsed()
+		wall := sw.Elapsed() / time.Duration(ops)
 		after := obs.ReadMem()
 		walls = append(walls, wall)
-		allocs = append(allocs, after.Mallocs-before.Mallocs)
-		allocBytes = append(allocBytes, after.TotalAllocBytes-before.TotalAllocBytes)
+		allocs = append(allocs, (after.Mallocs-before.Mallocs)/uint64(ops))
+		allocBytes = append(allocBytes, (after.TotalAllocBytes-before.TotalAllocBytes)/uint64(ops))
 
 		repEvents, repDepth, repPeak := reduceRep(col.Runs())
+		repEvents /= uint64(ops)
 		repMaxDepths = append(repMaxDepths, repDepth)
 		repPeakHeaps = append(repPeakHeaps, repPeak)
 		bp.Events = repEvents // deterministic: identical every rep

@@ -10,7 +10,7 @@
 //	mltcp-figures -fig 3 -csv     # CSV series on stdout
 //
 // Figures: 1, 2a, 2b, 2c, 3, 4, 5, 6, noise, fairness, multires, sweep,
-// scale, fct, mixed, robust, churn, compare, hetero, cluster.
+// scale, fct, mixed, robust, churn, compare, hetero, cluster, learned.
 package main
 
 import (
@@ -28,6 +28,7 @@ import (
 	"mltcp/internal/core"
 	"mltcp/internal/experiments"
 	"mltcp/internal/fluid"
+	"mltcp/internal/learn"
 	"mltcp/internal/multires"
 	"mltcp/internal/report"
 	"mltcp/internal/sim"
@@ -112,6 +113,7 @@ func main() {
 		"compare":  compare,
 		"hetero":   hetero,
 		"cluster":  cluster,
+		"learned":  learned,
 	}
 	var keys []string
 	for k := range figs {
@@ -605,4 +607,71 @@ func compare() {
 	fmt.Printf("overlap score: fluid %.3f, packet %.3f (gap %.3f); interleaved at iter %d vs %d\n",
 		res.Fluid.OverlapScore, res.Packet.OverlapScore, res.OverlapGap,
 		res.Fluid.InterleavedAt, res.Packet.InterleavedAt)
+}
+
+// learned evaluates the learned backend against the fluid simulation on
+// its tracked scenarios (the canonical 2×GPT-2 dumbbell and the quick
+// cluster trace) — the third-fidelity analogue of compare — and renders
+// the predicted-vs-simulated per-job slowdown scatter.
+func learned() {
+	fmt.Println("learned backend: predicted vs fluid-simulated steady-state slowdowns")
+	cmps, err := experiments.LearnedEval(context.Background(), nil, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	type pt struct{ exact, pred float64 }
+	var pts []pt
+	var rows [][]string
+	for _, c := range cmps {
+		for i := range c.Exact.Jobs {
+			e := c.Exact.Jobs[i].Slowdown(learn.SteadySkip)
+			p := c.Learned.Jobs[i].Slowdown(learn.SteadySkip)
+			pts = append(pts, pt{e, p})
+			rows = append(rows, []string{
+				c.Scenario,
+				c.Exact.Jobs[i].Name,
+				fmt.Sprintf("%.3f", e),
+				fmt.Sprintf("%.3f", p),
+				fmt.Sprintf("%.4f", c.RelErr[i]),
+			})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].exact < pts[b].exact })
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	lo, hi := 0.0, 1.0
+	for i, p := range pts {
+		xs[i], ys[i] = p.exact, p.pred
+		if i == 0 || p.exact < lo {
+			lo = p.exact
+		}
+		if p.exact > hi {
+			hi = p.exact
+		}
+		if p.pred > hi {
+			hi = p.pred
+		}
+	}
+	if *csvFlag {
+		trace.WriteCSV(os.Stdout, "fluid_slowdown", xs,
+			trace.Series{Name: "learned_slowdown", Values: ys})
+		return
+	}
+	fmt.Print(trace.Table([]string{"scenario", "job", "fluid", "learned", "rel err"}, rows))
+	for _, c := range cmps {
+		fmt.Printf("%s: mean err %.3f, max err %.3f, overlap gap %.3f\n",
+			c.Scenario, c.MeanRelErr, c.MaxRelErr, c.OverlapGap)
+	}
+	fmt.Print(trace.Chart("predicted slowdown vs fluid (jobs sorted by fluid slowdown)", 90, 10,
+		trace.Series{Name: "fluid", Values: xs},
+		trace.Series{Name: "learned", Values: ys}))
+	saveSVG("learned", &svgplot.Chart{
+		Title:  "Learned backend: predicted vs simulated slowdown",
+		XLabel: "fluid slowdown", YLabel: "predicted slowdown",
+		Series: []svgplot.Series{
+			{Name: "jobs", X: xs, Y: ys},
+			{Name: "y=x", X: []float64{lo, hi}, Y: []float64{lo, hi}},
+		},
+	})
 }

@@ -65,6 +65,9 @@ func run(path string) error {
 	}
 
 	printManifest(tr.Manifest)
+	if tr.Manifest.Predicted {
+		fmt.Println("predicted run (learned backend): manifest-only trace — event-derived sections are empty")
+	}
 	fmt.Printf("interleaved-at=%d overlap=%.3f (recomputed from %d events)\n\n",
 		res.InterleavedAt, res.OverlapScore, len(tr.Events))
 	if c := res.Cluster; c != nil {
@@ -90,6 +93,9 @@ func printManifest(m *telemetry.Manifest) {
 		m.Scenario, m.Backend, m.Policy, m.Seed, m.CapacityGbps, m.Scale, m.Duration())
 	if m.Revision != "" {
 		fmt.Printf(" revision=%.12s", m.Revision)
+	}
+	if m.Predicted {
+		fmt.Printf(" predicted=true")
 	}
 	fmt.Println()
 }

@@ -88,6 +88,63 @@ func TestRunSummarizes(t *testing.T) {
 	}
 }
 
+// TestLearnedTraceRoundTrip runs the checked-in learned-demo scenario on
+// the learned backend with telemetry, writes the (manifest-only) trace,
+// and asserts the CLI summarizes it without error in both text and -json
+// modes — the predicted-trace analogue of TestRunSummarizes.
+func TestLearnedTraceRoundTrip(t *testing.T) {
+	f, err := os.Open(filepath.FromSlash("../../examples/scenarios/learned-demo.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn, err := config.Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, buf, reg := telemetry.NewBuffered(telemetry.Options{})
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+	if _, err := (&backend.Learned{}).Run(ctx, &scn, 1); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Manifest() == nil || !rec.Manifest().Predicted {
+		t.Fatalf("learned manifest not marked predicted: %+v", rec.Manifest())
+	}
+	var out bytes.Buffer
+	if err := telemetry.Write(&out, rec.Manifest(), buf.Events(), reg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "learned.jsonl")
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run(path); err != nil {
+		t.Fatalf("text summary of predicted trace: %v", err)
+	}
+
+	tf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	tr, err := telemetry.Read(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := backend.ResultFromTrace(tr.Manifest, tr.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := writeJSON(&js, tr, res, *skipFlag); err != nil {
+		t.Fatalf("-json summary of predicted trace: %v", err)
+	}
+	if !bytes.Contains(js.Bytes(), []byte(`"predicted":true`)) {
+		t.Fatalf("JSON summary does not carry the predicted flag:\n%s", js.String())
+	}
+}
+
 func TestRunRejectsMissingFile(t *testing.T) {
 	if err := run(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
 		t.Fatal("missing file accepted")

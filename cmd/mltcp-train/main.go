@@ -1,0 +1,126 @@
+// Command mltcp-train fits the learned backend's model from a corpus
+// produced by mltcp-corpus. Training is pure Go and deterministic: the
+// same (-corpus, -seed) writes a byte-identical model file. After
+// training it evaluates the model's cross-fidelity error on the tracked
+// scenarios (canonical 2×gpt2 and the quick cluster trace) against the
+// fluid backend, optionally writing a JSON error report and failing when
+// the mean error exceeds -maxerr.
+//
+// Examples:
+//
+//	mltcp-train -corpus corpus.jsonl -out internal/learn/models/default.json
+//	mltcp-train -corpus corpus.jsonl -out model.json -report report.json -maxerr 0.10
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/experiments"
+	"mltcp/internal/learn"
+)
+
+var (
+	corpusFlag = flag.String("corpus", "corpus.jsonl", "input corpus (from mltcp-corpus)")
+	outFlag    = flag.String("out", "model.json", "output model path")
+	seedFlag   = flag.Uint64("seed", 1, "training seed (stump tie-breaking, feature subsampling)")
+	roundsFlag = flag.Int("rounds", 0, "boosting rounds per head (0 = default)")
+	lambdaFlag = flag.Float64("lambda", 0, "ridge regularization strength (0 = default)")
+	reportFlag = flag.String("report", "", "write a JSON cross-fidelity error report to this path")
+	maxErrFlag = flag.Float64("maxerr", 0, "fail (exit 1) when mean slowdown error on any tracked scenario exceeds this (0 = no gate)")
+	evalFlag   = flag.Bool("eval", true, "evaluate cross-fidelity error after training")
+)
+
+// report is the JSON error report schema.
+type report struct {
+	Model     string           `json:"model"`
+	Corpus    string           `json:"corpus"`
+	Seed      uint64           `json:"seed"`
+	Scenarios []scenarioErrors `json:"scenarios"`
+}
+
+type scenarioErrors struct {
+	Scenario   string  `json:"scenario"`
+	Jobs       int     `json:"jobs"`
+	MeanRelErr float64 `json:"mean_rel_err"`
+	MaxRelErr  float64 `json:"max_rel_err"`
+	OverlapGap float64 `json:"overlap_gap"`
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	f, err := os.Open(*corpusFlag)
+	if err != nil {
+		return err
+	}
+	h, runs, err := learn.ReadCorpus(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	m := learn.Train(h, runs, learn.TrainOpts{
+		Seed:   *seedFlag,
+		Rounds: *roundsFlag,
+		Lambda: *lambdaFlag,
+	})
+	out, err := os.Create(*outFlag)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(out); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "model: %d heads from %s -> %s\n", len(m.Heads), m.Corpus, *outFlag)
+	if !*evalFlag {
+		return nil
+	}
+
+	cmps, err := experiments.LearnedEval(context.Background(), &backend.Learned{Model: m}, 1)
+	if err != nil {
+		return err
+	}
+	rep := report{Model: *outFlag, Corpus: m.Corpus, Seed: m.Seed}
+	failed := false
+	for _, c := range cmps {
+		fmt.Fprintf(os.Stderr, "eval: %-28s jobs=%-3d mean-err=%.3f max-err=%.3f overlap-gap=%.3f\n",
+			c.Scenario, len(c.RelErr), c.MeanRelErr, c.MaxRelErr, c.OverlapGap)
+		rep.Scenarios = append(rep.Scenarios, scenarioErrors{
+			Scenario:   c.Scenario,
+			Jobs:       len(c.RelErr),
+			MeanRelErr: c.MeanRelErr,
+			MaxRelErr:  c.MaxRelErr,
+			OverlapGap: c.OverlapGap,
+		})
+		if *maxErrFlag > 0 && c.MeanRelErr > *maxErrFlag {
+			failed = true
+		}
+	}
+	if *reportFlag != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*reportFlag, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if failed {
+		return fmt.Errorf("mltcp-train: mean slowdown error exceeds -maxerr %.3f", *maxErrFlag)
+	}
+	return nil
+}

@@ -38,7 +38,7 @@ var (
 	configFlag   = flag.String("config", "", "JSON scenario file (overrides -jobs/-policy/-gbps/-duration/-stagger/-noise)")
 	jobsFlag     = flag.String("jobs", "gpt3,gpt2,gpt2,gpt2", "comma-separated profile names (gpt3, gpt2, bert, resnet50, vgg16, dlrm)")
 	policyFlag   = flag.String("policy", "mltcp", "scheduling policy: a CC scheme (reno, cubic, dctcp, d2tcp, swift, mltcp[-reno|-cubic|-dctcp|-d2tcp|-swift]), a fluid-only discipline (srpt, pdq, las, pias), or centralized")
-	levelFlag    = flag.String("level", "fluid", "simulation fidelity: fluid or packet")
+	levelFlag    = flag.String("level", "fluid", "simulation fidelity: fluid, packet, or learned (model prediction)")
 	durationFlag = flag.Duration("duration", 120*time.Second, "simulated time to run")
 	staggerFlag  = flag.Duration("stagger", 10*time.Millisecond, "start-time stagger between jobs")
 	noiseFlag    = flag.Duration("noise", 0, "std of Gaussian compute-time noise per iteration")

@@ -3,90 +3,44 @@ package backend
 import (
 	"mltcp/internal/config"
 	"mltcp/internal/fluid"
-	"mltcp/internal/netsim"
-	"mltcp/internal/sim"
+	"mltcp/internal/place"
 	"mltcp/internal/units"
 	"mltcp/internal/workload"
 )
 
-// cluster is a topology scenario compiled for the fluid backend: the
-// fabric graph, its fluid.Network rendering, and one placed ECMP path per
-// expanded job spec.
+// cluster is a topology scenario compiled for a backend: the shared
+// placement compilation (internal/place) plus the fluid.Network rendering
+// the flow-level allocator runs over.
 type cluster struct {
-	fab        *netsim.Fabric
-	nw         *fluid.Network
-	placements []config.Placement
-	// paths[i] is spec i's directed link IDs; pathNames the corresponding
-	// link names; pathCaps the narrowest capacity along the path.
-	paths     [][]int
-	pathNames [][]string
-	pathCaps  []units.Rate
+	*place.Cluster
+	nw *fluid.Network
 }
 
 // idealCap returns the capacity job i's isolated iteration time is
-// computed against: the narrowest link on its path, or the scenario
-// bottleneck without a topology. Nil-safe so the dumbbell code path needs
-// no branches.
+// computed against (nil-safe, like place.Cluster.IdealCap).
 func (c *cluster) idealCap(i int, fallback units.Rate) units.Rate {
 	if c == nil {
 		return fallback
 	}
-	return c.pathCaps[i]
+	return c.Cluster.IdealCap(i, fallback)
 }
 
-// compileCluster places the expanded specs onto the scenario topology.
-// Host slots within each rack are assigned round-robin in spec order, and
-// each flow's ECMP choice derives from its run-scoped job seed, so the
-// whole compilation is a pure function of (scenario, seed) — the harness
-// determinism contract extends to fabric placement. Returns nil for
-// non-topology scenarios.
+// compileCluster places the expanded specs onto the scenario topology via
+// place.Compile and renders the fabric for the fluid allocator. Returns
+// nil for non-topology scenarios.
 func compileCluster(s *config.Scenario, specs []workload.Spec, seed uint64) *cluster {
-	if s.Topology == nil {
+	pc := place.Compile(s, specs, seed)
+	if pc == nil {
 		return nil
 	}
-	fab := s.Topology.Build(s.Capacity())
-	links := fab.Links()
-	caps := make([]units.Rate, len(links))
-	names := make([]string, len(links))
-	for l, lk := range links {
-		caps[l], names[l] = lk.Capacity, lk.Name
+	return &cluster{Cluster: pc, nw: fluid.NewNetwork(pc.LinkCaps, pc.LinkNames)}
+}
+
+// placed returns the shared placement compilation (nil for non-topology
+// scenarios), for consumers that need paths but not the fluid network.
+func (c *cluster) placed() *place.Cluster {
+	if c == nil {
+		return nil
 	}
-	c := &cluster{
-		fab:        fab,
-		nw:         fluid.NewNetwork(caps, names),
-		placements: s.Placements(),
-		paths:      make([][]int, len(specs)),
-		pathNames:  make([][]string, len(specs)),
-		pathCaps:   make([]units.Rate, len(specs)),
-	}
-	srcSlot := make([]int, fab.Racks())
-	dstSlot := make([]int, fab.Racks())
-	for i, spec := range specs {
-		p := c.placements[i]
-		srcHosts := fab.RackHosts(p.SrcRack)
-		dstHosts := fab.RackHosts(p.DstRack)
-		src := srcHosts[srcSlot[p.SrcRack]%len(srcHosts)]
-		srcSlot[p.SrcRack]++
-		dst := dstHosts[dstSlot[p.DstRack]%len(dstHosts)]
-		dstSlot[p.DstRack]++
-		if dst == src {
-			// Same-rack placement: config validation guarantees at least
-			// two hosts per rack, so the next slot is a different host.
-			dst = dstHosts[dstSlot[p.DstRack]%len(dstHosts)]
-			dstSlot[p.DstRack]++
-		}
-		choice := sim.DeriveSeed(jobSeed(seed, spec), 1)
-		c.paths[i] = fab.Path(src, dst, choice)
-		pn := make([]string, len(c.paths[i]))
-		narrow := caps[c.paths[i][0]]
-		for k, l := range c.paths[i] {
-			pn[k] = names[l]
-			if caps[l] < narrow {
-				narrow = caps[l]
-			}
-		}
-		c.pathNames[i] = pn
-		c.pathCaps[i] = narrow
-	}
-	return c
+	return c.Cluster
 }

@@ -47,7 +47,7 @@ func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Re
 		}
 		jobs[i] = &fluid.Job{Spec: spec, Agg: agg, MaxIterations: spec.MaxIterations}
 		if cl != nil {
-			jobs[i].Path = cl.paths[i]
+			jobs[i].Path = cl.Paths[i]
 		}
 	}
 
@@ -67,16 +67,16 @@ func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Re
 				BytesPerIter: int64(spec.Profile.CommBytes),
 			}
 			if cl != nil {
-				mjobs[i].SrcRack = fmt.Sprintf("rack%d", cl.placements[i].SrcRack)
-				mjobs[i].DstRack = fmt.Sprintf("rack%d", cl.placements[i].DstRack)
-				mjobs[i].Links = cl.pathNames[i]
+				mjobs[i].SrcRack = fmt.Sprintf("rack%d", cl.Placements[i].SrcRack)
+				mjobs[i].DstRack = fmt.Sprintf("rack%d", cl.Placements[i].DstRack)
+				mjobs[i].Links = cl.PathNames[i]
 			}
 		}
 		m := newManifest(&s, b.Name(), seed, s.Capacity(), 1, mjobs)
 		if cl != nil {
-			m.Topology = cl.fab.Kind
-			m.Racks = cl.fab.Racks()
-			m.FabricLinks = len(cl.fab.Links())
+			m.Topology = cl.Fab.Kind
+			m.Racks = cl.Fab.Racks()
+			m.FabricLinks = len(cl.Fab.Links())
 		}
 		rec.SetManifest(m)
 	}
@@ -120,9 +120,9 @@ func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Re
 	}
 	if cl != nil {
 		res.Cluster = &ClusterResult{
-			Topology: cl.fab.Kind,
-			Racks:    cl.fab.Racks(),
-			Links:    len(cl.fab.Links()),
+			Topology: cl.Fab.Kind,
+			Racks:    cl.Fab.Racks(),
+			Links:    len(cl.Fab.Links()),
 		}
 	}
 	for i, j := range jobs {
@@ -142,9 +142,9 @@ func (b *Fluid) Run(ctx context.Context, scn *config.Scenario, seed uint64) (*Re
 			IterTimes:      j.IterDurations,
 		}
 		if cl != nil {
-			jr.SrcRack = fmt.Sprintf("rack%d", cl.placements[i].SrcRack)
-			jr.DstRack = fmt.Sprintf("rack%d", cl.placements[i].DstRack)
-			jr.PathLinks = cl.pathNames[i]
+			jr.SrcRack = fmt.Sprintf("rack%d", cl.Placements[i].SrcRack)
+			jr.DstRack = fmt.Sprintf("rack%d", cl.Placements[i].DstRack)
+			jr.PathLinks = cl.PathNames[i]
 		}
 		for i := range j.CommEnds {
 			jr.FCTs = append(jr.FCTs, j.CommEnds[i]-j.CommStarts[i])

@@ -1,0 +1,126 @@
+package backend
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mltcp/internal/config"
+)
+
+func learnedScenario(policy string, profiles ...string) *config.Scenario {
+	s := &config.Scenario{Name: "learned-test-" + policy, Policy: policy, DurationSec: 30}
+	for i, p := range profiles {
+		s.Jobs = append(s.Jobs, config.Job{Name: string(rune('A' + i)), Profile: p})
+	}
+	return s
+}
+
+// TestLearnedDeterministic: Run is a pure function of (scenario, seed),
+// including across the per-policy layout cache being cold and warm.
+func TestLearnedDeterministic(t *testing.T) {
+	scn := learnedScenario("mltcp", "gpt2", "gpt2")
+	b := &Learned{}
+	first, err := b.Run(context.Background(), scn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := b.Run(context.Background(), scn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("repeated learned runs diverged")
+	}
+	fresh, err := (&Learned{}).Run(context.Background(), scn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, fresh) {
+		t.Fatal("warm layout cache changed the result")
+	}
+}
+
+// TestLearnedResultShape: the synthesized Result must look like an exact
+// backend's — named jobs with phase timelines, slowdowns ≥ 1, delivered
+// bytes, and the standard IterTimes convention.
+func TestLearnedResultShape(t *testing.T) {
+	scn := learnedScenario("mltcp", "gpt2", "gpt3", "bert")
+	res, err := (&Learned{}).Run(context.Background(), scn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != NameLearned || len(res.Jobs) != 3 {
+		t.Fatalf("result header %q with %d jobs", res.Backend, len(res.Jobs))
+	}
+	for _, j := range res.Jobs {
+		if j.Iterations() == 0 {
+			t.Errorf("%s: no iterations synthesized", j.Name)
+		}
+		if len(j.CommStarts) < len(j.CommEnds) {
+			t.Errorf("%s: %d starts < %d ends", j.Name, len(j.CommStarts), len(j.CommEnds))
+		}
+		if len(j.IterTimes) != len(j.CommStarts)-1 {
+			t.Errorf("%s: %d iter times for %d starts (want starts-1)",
+				j.Name, len(j.IterTimes), len(j.CommStarts))
+		}
+		if s := j.Slowdown(20); s < 1 {
+			t.Errorf("%s: slowdown %v < 1", j.Name, s)
+		}
+		if j.DeliveredBytes <= 0 {
+			t.Errorf("%s: delivered %d bytes", j.Name, j.DeliveredBytes)
+		}
+	}
+}
+
+// TestLearnedLayoutCachePerPolicy: the layout cache is keyed by policy;
+// interleaving runs of different policies and job counts must still match
+// what a fresh backend computes for each.
+func TestLearnedLayoutCachePerPolicy(t *testing.T) {
+	warm := &Learned{}
+	scns := []*config.Scenario{
+		learnedScenario("mltcp", "gpt2", "gpt2"),
+		learnedScenario("reno", "gpt2", "gpt2"),
+		learnedScenario("mltcp", "gpt3", "gpt2", "gpt2", "bert"),
+		learnedScenario("reno", "dlrm", "dlrm"),
+	}
+	for _, scn := range scns {
+		got, err := warm.Run(context.Background(), scn, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := (&Learned{}).Run(context.Background(), scn, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: warm-cache result diverged from fresh backend", scn.Name)
+		}
+	}
+}
+
+// TestLearnedClusterResult: topology scenarios carry exact pair counts
+// (from the compiled paths) with predicted overlaps.
+func TestLearnedClusterResult(t *testing.T) {
+	scn := &config.Scenario{
+		Name: "learned-cluster-test", Policy: "mltcp", DurationSec: 10,
+		Topology: &config.Topology{Kind: config.KindFatTree, K: 4},
+		Jobs:     []config.Job{{Name: "J", Profile: "gpt2", Count: 6}},
+	}
+	res, err := (&Learned{}).Run(context.Background(), scn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cluster
+	if c == nil {
+		t.Fatal("topology scenario produced no cluster result")
+	}
+	n := len(res.Jobs)
+	if got, want := c.SharingPairs+c.DisjointPairs, n*(n-1)/2; got != want {
+		t.Fatalf("pair split %d+%d covers %d pairs, want %d",
+			c.SharingPairs, c.DisjointPairs, got, want)
+	}
+	if c.Topology == "" || c.Racks == 0 || c.Links == 0 {
+		t.Fatalf("cluster header %+v", c)
+	}
+}

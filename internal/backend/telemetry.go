@@ -14,12 +14,13 @@ import (
 // Compare against these constants (or iterate Names) instead of
 // hand-writing the strings.
 const (
-	NameFluid  = "fluid"
-	NamePacket = "packet"
+	NameFluid   = "fluid"
+	NamePacket  = "packet"
+	NameLearned = "learned"
 )
 
 // Names returns the backend names New accepts, in presentation order.
-func Names() []string { return []string{NameFluid, NamePacket} }
+func Names() []string { return []string{NameFluid, NamePacket, NameLearned} }
 
 // New builds a backend by name; unknown names list the valid set.
 func New(name string) (Backend, error) {
@@ -28,6 +29,8 @@ func New(name string) (Backend, error) {
 		return &Fluid{}, nil
 	case NamePacket:
 		return &Packet{}, nil
+	case NameLearned:
+		return &Learned{}, nil
 	}
 	return nil, fmt.Errorf("backend: unknown backend %q (valid: %s)",
 		name, strings.Join(Names(), ", "))

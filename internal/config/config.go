@@ -314,7 +314,6 @@ func (s Scenario) FluidPolicy() fluid.Policy {
 // their jobs from this one expansion, so fidelities agree on the workload
 // by construction.
 func (s Scenario) Specs() []workload.Spec {
-	known := workload.Profiles()
 	stagger := s.Stagger()
 	var specs []workload.Spec
 	for ji, j := range s.Jobs {
@@ -322,7 +321,7 @@ func (s Scenario) Specs() []workload.Spec {
 		if count == 0 {
 			count = 1
 		}
-		prof, ok := known[j.Profile]
+		prof, ok := workload.ProfileByName(j.Profile)
 		if !ok {
 			prof = workload.Profile{
 				Name:        j.Name,

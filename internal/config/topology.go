@@ -100,11 +100,26 @@ func (t *Topology) RackNames() []string {
 
 // rackIndex resolves a placement name against the registry.
 func (t *Topology) rackIndex(name string) (int, bool) {
-	var i int
-	if _, err := fmt.Sscanf(name, "rack%d", &i); err != nil {
+	// Hand-rolled "rack%d" parse: this runs per job on the placement hot
+	// path, where fmt.Sscanf costs more than the rest of Placements. Only
+	// canonical spellings round-trip: digits only, no leading zeros.
+	const prefix = "rack"
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
 		return 0, false
 	}
-	if fmt.Sprintf("rack%d", i) != name || i < 0 || i >= t.Racks() {
+	digits := name[len(prefix):]
+	if len(digits) > 1 && digits[0] == '0' {
+		return 0, false
+	}
+	i := 0
+	for k := 0; k < len(digits); k++ {
+		c := digits[k]
+		if c < '0' || c > '9' || i > t.Racks() {
+			return 0, false
+		}
+		i = i*10 + int(c-'0')
+	}
+	if i >= t.Racks() {
 		return 0, false
 	}
 	return i, true

@@ -1,0 +1,111 @@
+package experiments
+
+// This file wires the learned backend into the cross-fidelity machinery:
+// prediction error versus an exact backend is a first-class tracked
+// metric, evaluated on the same canonical scenarios the fluid/packet
+// comparison uses. The quick cluster opts live here (not in learn/gen) so
+// both the corpus generator and the evaluation agree on the scenario
+// without an import cycle.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/config"
+	"mltcp/internal/learn"
+)
+
+// QuickClusterOpts is the small trace-driven cluster scenario used for
+// quick benchmarks and the learned backend's acceptance evaluation: a
+// fat-tree(4) with 24 arriving jobs over a 10 s horizon.
+func QuickClusterOpts() ClusterOpts {
+	return ClusterOpts{
+		Topology:          &config.Topology{Kind: config.KindFatTree, K: 4},
+		Jobs:              24,
+		ArrivalRatePerSec: 8,
+		MeanIters:         8,
+		DurationSec:       10,
+		Seed:              11,
+	}
+}
+
+// LearnedEvalScenarios returns the scenarios the learned backend's
+// prediction error is tracked on: the canonical 2×gpt2 dumbbell and the
+// quick cluster trace.
+func LearnedEvalScenarios() []*config.Scenario {
+	return []*config.Scenario{CanonicalTwoJob(), ClusterScenario(QuickClusterOpts())}
+}
+
+// LearnedComparison quantifies learned-vs-exact agreement on one
+// scenario, the learned tier's analogue of CrossFidelityResult.
+type LearnedComparison struct {
+	Scenario       string
+	Learned, Exact *backend.Result
+	// RelErr[i] is job i's relative steady-state slowdown error
+	// |learned − exact| / exact (1.0 when exactly one side saw the job
+	// never complete an iteration); MeanRelErr and MaxRelErr aggregate it.
+	RelErr     []float64
+	MeanRelErr float64
+	MaxRelErr  float64
+	// OverlapGap is |learned − exact| overlap score.
+	OverlapGap float64
+}
+
+// CrossFidelityLearned runs the scenario on the learned backend and the
+// exact fluid backend from the same seed and summarizes the prediction
+// error. skip is the steady-state transient cut (learn.SteadySkip for the
+// tracked metric).
+func CrossFidelityLearned(ctx context.Context, lb *backend.Learned, scn *config.Scenario, seed uint64, skip int) (*LearnedComparison, error) {
+	if lb == nil {
+		lb = &backend.Learned{}
+	}
+	ex, err := (&backend.Fluid{}).Run(ctx, scn, seed)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := lb.Run(ctx, scn, seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(ex.Jobs) != len(pr.Jobs) {
+		return nil, fmt.Errorf("experiments: learned expanded %d jobs, fluid %d", len(pr.Jobs), len(ex.Jobs))
+	}
+	cmp := &LearnedComparison{Scenario: scn.Name, Learned: pr, Exact: ex}
+	var sum float64
+	for i := range ex.Jobs {
+		e, p := ex.Jobs[i].Slowdown(skip), pr.Jobs[i].Slowdown(skip)
+		var rel float64
+		switch {
+		case e > 0:
+			rel = math.Abs(p-e) / e
+		case p > 0:
+			rel = 1
+		}
+		cmp.RelErr = append(cmp.RelErr, rel)
+		sum += rel
+		if rel > cmp.MaxRelErr {
+			cmp.MaxRelErr = rel
+		}
+	}
+	if len(cmp.RelErr) > 0 {
+		cmp.MeanRelErr = sum / float64(len(cmp.RelErr))
+	}
+	cmp.OverlapGap = math.Abs(pr.OverlapScore - ex.OverlapScore)
+	return cmp, nil
+}
+
+// LearnedEval evaluates the learned backend on every tracked scenario at
+// the standard skip and seed, returning one comparison per scenario.
+func LearnedEval(ctx context.Context, lb *backend.Learned, seed uint64) ([]*LearnedComparison, error) {
+	var out []*LearnedComparison
+	for _, scn := range LearnedEvalScenarios() {
+		cmp, err := CrossFidelityLearned(ctx, lb, scn, seed, learn.SteadySkip)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: learned eval %q: %w", scn.Name, err)
+		}
+		out = append(out, cmp)
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"mltcp/internal/learn"
+)
+
+// TestLearnedEvalAccuracy is the learned tier's acceptance gate: the
+// checked-in default model must predict steady-state slowdowns within
+// 10% mean relative error of the fluid simulation on both tracked
+// scenarios.
+func TestLearnedEvalAccuracy(t *testing.T) {
+	cmps, err := LearnedEval(context.Background(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(LearnedEvalScenarios()); len(cmps) != want {
+		t.Fatalf("evaluated %d scenarios, want %d", len(cmps), want)
+	}
+	const maxMeanErr = 0.10
+	for _, c := range cmps {
+		t.Logf("%s: mean err %.4f, max err %.4f, overlap gap %.4f",
+			c.Scenario, c.MeanRelErr, c.MaxRelErr, c.OverlapGap)
+		if c.MeanRelErr > maxMeanErr {
+			t.Errorf("%s: mean slowdown error %.4f exceeds the %.2f acceptance gate",
+				c.Scenario, c.MeanRelErr, maxMeanErr)
+		}
+		if len(c.RelErr) != len(c.Exact.Jobs) {
+			t.Errorf("%s: %d per-job errors for %d jobs", c.Scenario, len(c.RelErr), len(c.Exact.Jobs))
+		}
+	}
+}
+
+// TestCrossFidelityLearnedDeterministic: the comparison is a pure
+// function of (scenario, seed) on both sides.
+func TestCrossFidelityLearnedDeterministic(t *testing.T) {
+	scn := CanonicalTwoJob()
+	a, err := CrossFidelityLearned(context.Background(), nil, scn, 1, learn.SteadySkip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossFidelityLearned(context.Background(), nil, scn, 1, learn.SteadySkip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanRelErr != b.MeanRelErr || a.MaxRelErr != b.MaxRelErr || a.OverlapGap != b.OverlapGap {
+		t.Fatalf("repeated comparison diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,29 @@
+package learn
+
+import (
+	"bytes"
+	_ "embed"
+	"sync"
+)
+
+// defaultModelBytes is the checked-in production model, regenerated with
+// `make corpus && make train` (see docs/EXTENDING.md §11).
+//
+//go:embed models/default.json
+var defaultModelBytes []byte
+
+var (
+	defaultOnce  sync.Once
+	defaultModel *Model
+	defaultErr   error
+)
+
+// DefaultModel parses the embedded default model once and returns the
+// shared instance. The model is read-only after load, so the instance is
+// safe for concurrent Predict calls.
+func DefaultModel() (*Model, error) {
+	defaultOnce.Do(func() {
+		defaultModel, defaultErr = ReadModel(bytes.NewReader(defaultModelBytes))
+	})
+	return defaultModel, defaultErr
+}

@@ -1,0 +1,228 @@
+package learn
+
+// JobLayout is the name-dependent half of per-job head evaluation: hash
+// slots and signs for each feature position, the set of dims job features
+// can touch, and the partition of the head's stumps into those that can
+// move per job and those that cannot. It depends only on the prototype
+// vector's feature *names* — Extract emits the same job-vector layout for
+// every job of a scenario, and the names vary only with the policy — so a
+// serving path can build the layout once per (head, policy) and reuse it
+// across scenarios and seeds.
+type JobLayout struct {
+	head  *HeadModel
+	slots []int     // feature position → hashed dim
+	signs []float64 // feature position → hash sign
+	pos   []int     // feature position → index into dims
+	dims  []int     // unique dims job features touch
+
+	varStumps []int32 // indices into head.Stumps on touched dims
+	varDim    []int32 // varStumps position → index into dims
+	fixStumps []int32 // indices into head.Stumps no job feature can move
+}
+
+// NewJobLayout computes the layout of h for job vectors shaped like
+// proto. Every vector later passed to JobEval.Predict must carry the same
+// feature names in the same order (values are free to differ).
+func NewJobLayout(h *HeadModel, proto Vector) *JobLayout {
+	l := &JobLayout{
+		head:  h,
+		slots: make([]int, 0, len(proto)),
+		signs: make([]float64, 0, len(proto)),
+		pos:   make([]int, 0, len(proto)),
+		dims:  make([]int, 0, len(proto)),
+	}
+	var dimIdx [Dim]int16
+	for i := range dimIdx {
+		dimIdx[i] = -1
+	}
+	for _, f := range proto {
+		idx, sign := slot(f.Name)
+		l.slots = append(l.slots, idx)
+		l.signs = append(l.signs, sign)
+		di := dimIdx[idx]
+		if di < 0 {
+			di = int16(len(l.dims))
+			dimIdx[idx] = di
+			l.dims = append(l.dims, idx)
+		}
+		l.pos = append(l.pos, int(di))
+	}
+	l.varStumps = make([]int32, 0, len(h.Stumps))
+	l.varDim = make([]int32, 0, len(h.Stumps))
+	for si := range h.Stumps {
+		if di := dimIdx[h.Stumps[si].Dim]; di >= 0 {
+			l.varStumps = append(l.varStumps, int32(si))
+			l.varDim = append(l.varDim, int32(di))
+		} else {
+			l.fixStumps = append(l.fixStumps, int32(si))
+		}
+	}
+	return l
+}
+
+// Eval binds the layout to one scenario's hashed base vector, resolving
+// the base dot product and every stump job features cannot move. sv must
+// be the scenario vector base was hashed from (the sparse dot over sv
+// equals the dense dot over base by linearity of hashing).
+func (l *JobLayout) Eval(base []float64, sv Vector) *JobEval {
+	return l.finishEval(base, DotVector(l.head.Weights, sv))
+}
+
+// EvalHashed is Eval with the scenario vector's slots pre-resolved —
+// bit-identical to Eval(base, v) for hv = NewHashedVector(v), without
+// re-hashing any feature name.
+func (l *JobLayout) EvalHashed(base []float64, hv *HashedVector) *JobEval {
+	return l.finishEval(base, hv.Dot(l.head.Weights))
+}
+
+func (l *JobLayout) finishEval(base []float64, baseY float64) *JobEval {
+	e := &JobEval{
+		layout: l,
+		base:   base,
+		xd:     make([]float64, len(l.dims)),
+		baseY:  baseY,
+	}
+	stumps := l.head.Stumps
+	for _, si := range l.fixStumps {
+		s := &stumps[si]
+		if base[s.Dim] <= s.Threshold {
+			e.baseY += s.Left
+		} else {
+			e.baseY += s.Right
+		}
+	}
+	return e
+}
+
+// JobEval scores the jobs of one scenario against a fixed hashed base.
+// Each job costs O(len(vector) + touched dims + movable stumps) instead
+// of O(Dim + all stumps).
+type JobEval struct {
+	layout *JobLayout
+	base   []float64
+	baseY  float64   // weights·base plus stumps on untouched dims
+	xd     []float64 // scratch: current value of each touched dim
+}
+
+// NewJobEval prepares h for repeated job scoring against a fixed hashed
+// scenario base: NewJobLayout + Eval in one step, for callers that do not
+// reuse the layout. sv must be the scenario vector base was hashed from;
+// proto fixes the job-vector layout.
+func NewJobEval(h *HeadModel, base []float64, sv, proto Vector) *JobEval {
+	return NewJobLayout(h, proto).Eval(base, sv)
+}
+
+// Predict scores one job vector laid out like the layout's prototype. A
+// vector with a different length falls back to the dense path (copy base,
+// hash, full head evaluation) so a layout mismatch degrades to
+// correct-but-slow.
+func (e *JobEval) Predict(v Vector) float64 {
+	l := e.layout
+	if len(v) != len(l.slots) {
+		x := make([]float64, len(e.base))
+		copy(x, e.base)
+		HashInto(x, v)
+		return l.head.Predict(x)
+	}
+	for i, d := range l.dims {
+		e.xd[i] = e.base[d]
+	}
+	for p, f := range v {
+		e.xd[l.pos[p]] += l.signs[p] * f.Value
+	}
+	y := e.baseY
+	w := l.head.Weights
+	for i, d := range l.dims {
+		y += w[d] * (e.xd[i] - e.base[d])
+	}
+	stumps := l.head.Stumps
+	for vi, si := range l.varStumps {
+		s := &stumps[si]
+		if e.xd[l.varDim[vi]] <= s.Threshold {
+			y += s.Left
+		} else {
+			y += s.Right
+		}
+	}
+	return y
+}
+
+// DotVector is the sparse weighted sum of a feature vector: equal to the
+// dense dot product of w with the vector's hashed image, without touching
+// the Dim-Dim zero slots.
+func DotVector(w []float64, v Vector) float64 {
+	var y float64
+	for _, f := range v {
+		idx, sign := slot(f.Name)
+		y += w[idx] * sign * f.Value
+	}
+	return y
+}
+
+// HashedVector is a feature vector with every name's hash slot resolved
+// once. Serving evaluates one scenario vector against several heads;
+// DotVector re-hashes each name per call, which dominates a
+// microsecond-budget Run, so Learned.Run resolves the slots a single
+// time and reuses them. Dot and AddTo keep DotVector's and HashInto's
+// exact operation order, so predictions match bit for bit.
+type HashedVector struct {
+	idx  []int32
+	sign []float64
+	val  []float64
+}
+
+// NewHashedVector resolves v's hash slots and signs.
+func NewHashedVector(v Vector) *HashedVector {
+	n := len(v)
+	buf := make([]float64, 2*n)
+	hv := &HashedVector{idx: make([]int32, n), sign: buf[:n], val: buf[n:]}
+	for i, f := range v {
+		idx, sign := slot(f.Name)
+		hv.idx[i] = int32(idx)
+		hv.sign[i] = sign
+		hv.val[i] = f.Value
+	}
+	return hv
+}
+
+// Dot is DotVector over the pre-resolved slots.
+func (hv *HashedVector) Dot(w []float64) float64 {
+	var y float64
+	for i, d := range hv.idx {
+		y += w[d] * hv.sign[i] * hv.val[i]
+	}
+	return y
+}
+
+// AddTo is HashInto over the pre-resolved slots.
+func (hv *HashedVector) AddTo(x []float64) {
+	for i, d := range hv.idx {
+		x[d] += hv.sign[i] * hv.val[i]
+	}
+}
+
+// PredictSparse evaluates h on a hashed base and the sparse vector it was
+// hashed from: the linear term runs over the vector's entries, the stumps
+// over the dense base. Equivalent to Predict(base) up to float summation
+// order.
+func (h *HeadModel) PredictSparse(base []float64, v Vector) float64 {
+	return h.predictStumps(base, DotVector(h.Weights, v))
+}
+
+// PredictHashed is PredictSparse with the vector's slots pre-resolved —
+// bit-identical to PredictSparse(base, v) for hv = NewHashedVector(v).
+func (h *HeadModel) PredictHashed(base []float64, hv *HashedVector) float64 {
+	return h.predictStumps(base, hv.Dot(h.Weights))
+}
+
+func (h *HeadModel) predictStumps(base []float64, y float64) float64 {
+	for si := range h.Stumps {
+		s := &h.Stumps[si]
+		if base[s.Dim] <= s.Threshold {
+			y += s.Left
+		} else {
+			y += s.Right
+		}
+	}
+	return y
+}

@@ -1,0 +1,276 @@
+package learn
+
+import (
+	"math"
+	"sync"
+
+	"mltcp/internal/config"
+	"mltcp/internal/core"
+	"mltcp/internal/place"
+	"mltcp/internal/workload"
+)
+
+// policyNames are the policy-scoped feature names. They are pure
+// functions of the policy string, and Extract sits on the learned
+// backend's serving hot path, so they are interned per policy instead of
+// re-concatenated on every extraction.
+type policyNames struct {
+	policy, load, excess, serial, a string
+}
+
+var policyNameCache sync.Map // policy string → *policyNames
+
+func namesFor(policy string) *policyNames {
+	if v, ok := policyNameCache.Load(policy); ok {
+		return v.(*policyNames)
+	}
+	pn := &policyNames{
+		policy: "p=" + policy,
+		load:   "p=" + policy + ":load",
+		excess: "p=" + policy + ":excess",
+		serial: "p=" + policy + ":serial",
+		a:      "p=" + policy + ":a",
+	}
+	policyNameCache.Store(policy, pn)
+	return pn
+}
+
+// Features is the model input for one scenario: a scenario-level vector
+// shared by every job, plus one per-job vector. At prediction time job i's
+// input is the concatenation Scenario ++ Jobs[i]; scenario-level heads
+// (overlap, interleave point) see only Scenario.
+type Features struct {
+	Scenario Vector
+	Jobs     []Vector
+}
+
+// Extract computes the feature vectors for a normalized scenario. specs
+// must be s.Specs() and cl the scenario's compiled placement (nil for
+// dumbbell scenarios); the caller expands/compiles once so serving pays
+// the cost a single time per Run. Extraction is a pure function of its
+// arguments.
+func Extract(s *config.Scenario, specs []workload.Spec, cl *place.Cluster) *Features {
+	n := len(specs)
+	capacity := s.Capacity()
+	horizon := s.DurationSec
+
+	// Per-job isolated geometry at each job's own bottleneck capacity.
+	// All scratch arrays carve one allocation.
+	scratch := make([]float64, 7*n)
+	a := scratch[0*n : 1*n]     // comm fraction in isolation
+	ideal := scratch[1*n : 2*n] // isolated iteration time, seconds
+	start := scratch[2*n : 3*n] // active-window start, seconds
+	end := scratch[3*n : 4*n]   // active-window end, seconds
+	for i, sp := range specs {
+		ci := cl.IdealCap(i, capacity)
+		a[i] = sp.Profile.CommFraction(ci)
+		ideal[i] = sp.Profile.IdealIterTime(ci).Seconds()
+		start[i] = sp.StartOffset.Seconds()
+		e := horizon
+		if sp.MaxIterations > 0 && ideal[i] > 0 {
+			if be := start[i] + float64(sp.MaxIterations)*ideal[i]; be < e {
+				e = be
+			}
+		}
+		if e < start[i] {
+			e = start[i]
+		}
+		end[i] = e
+	}
+
+	// Link-sharing structure: without a topology every pair contends for
+	// the one bottleneck; with one, pairs contend iff their paths share a
+	// link. Paths become per-job bitsets so the O(n²) pair sweep is a few
+	// word ANDs per pair.
+	var linkBits [][]uint64
+	words := 0
+	if cl != nil {
+		maxLink := 0
+		for _, path := range cl.Paths {
+			for _, l := range path {
+				if l > maxLink {
+					maxLink = l
+				}
+			}
+		}
+		words = maxLink/64 + 1
+		buf := make([]uint64, words*n)
+		linkBits = make([][]uint64, n)
+		for i, path := range cl.Paths {
+			b := buf[i*words : (i+1)*words]
+			for _, l := range path {
+				b[l/64] |= 1 << (l % 64)
+			}
+			linkBits[i] = b
+		}
+	}
+	shares := func(i, k int) bool {
+		if linkBits == nil {
+			return true
+		}
+		bi, bk := linkBits[i], linkBits[k]
+		for w := 0; w < words; w++ {
+			if bi[w]&bk[w] != 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Co-presence-weighted contention: w_ik is the fraction of job i's
+	// active window during which contender k is also active, so briefly
+	// overlapping jobs in a trace-driven cluster contribute only their
+	// temporal share of demand.
+	load := scratch[4*n : 5*n]       // a_i + Σ w_ik·a_k over link-sharing k
+	serial := scratch[5*n : 6*n]     // 1 + Σ w_ik·a_k: serialized-comm slowdown bound
+	contenders := scratch[6*n : 7*n] // count of co-present link-sharing jobs
+	for i := 0; i < n; i++ {
+		wi := end[i] - start[i]
+		load[i] = a[i]
+		serial[i] = 1
+		for k := 0; k < n; k++ {
+			if k == i || !shares(i, k) {
+				continue
+			}
+			ov := math.Min(end[i], end[k]) - math.Max(start[i], start[k])
+			if ov <= 0 || wi <= 0 {
+				continue
+			}
+			w := ov / wi
+			load[i] += w * a[k]
+			serial[i] += w * a[k]
+			contenders[i]++
+		}
+	}
+
+	pn := namesFor(s.Policy)
+	f := &Features{Jobs: make([]Vector, n)}
+	f.Scenario = scenarioVector(s, specs, cl, pn, a, load, start, end, contenders)
+	// All job vectors carve one backing allocation; JobLayout relies on
+	// every vector sharing this exact feature order.
+	const jobFeatures = 17
+	jbuf := make([]Feature, 0, jobFeatures*n)
+	for i := range specs {
+		excess := math.Max(0, load[i]-1)
+		winFrac := 0.0
+		if horizon > 0 {
+			winFrac = (end[i] - start[i]) / horizon
+		}
+		offFrac := 0.0
+		if horizon > 0 {
+			offFrac = start[i] / horizon
+		}
+		noiseRel := 0.0
+		if ideal[i] > 0 {
+			noiseRel = specs[i].NoiseStd.Seconds() / ideal[i]
+		}
+		hasBudget := 0.0
+		if specs[i].MaxIterations > 0 {
+			hasBudget = 1
+		}
+		at := len(jbuf)
+		jbuf = append(jbuf,
+			Feature{"j:a", a[i]},
+			Feature{"j:a_sq", a[i] * a[i]},
+			Feature{"j:ideal_s", ideal[i]},
+			Feature{"j:compute_s", specs[i].Profile.ComputeTime.Seconds()},
+			Feature{"j:bytes_gb", float64(specs[i].Profile.CommBytes) / 1e9},
+			Feature{"j:offset_frac", offFrac},
+			Feature{"j:noise_rel", noiseRel},
+			Feature{"j:has_budget", hasBudget},
+			Feature{"j:window_frac", winFrac},
+			Feature{"j:contenders", contenders[i]},
+			Feature{"j:load", load[i]},
+			Feature{"j:excess", excess},
+			Feature{"j:serial", serial[i]},
+			// Policy conjunctions: a hashed linear model cannot represent
+			// policy×contention interactions natively, so the load terms are
+			// re-emitted under policy-scoped names.
+			Feature{pn.load, load[i]},
+			Feature{pn.excess, excess},
+			Feature{pn.serial, serial[i]},
+			Feature{pn.a, a[i]},
+		)
+		f.Jobs[i] = Vector(jbuf[at:len(jbuf):len(jbuf)])
+	}
+	return f
+}
+
+func scenarioVector(s *config.Scenario, specs []workload.Spec, cl *place.Cluster,
+	pn *policyNames, a, load, start, end, contenders []float64) Vector {
+	n := len(specs)
+	sumA, maxA, sumLoad, maxExcess, sumWin, sumCont := 0.0, 0.0, 0.0, 0.0, 0.0, 0.0
+	minStart, maxStart := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		sumA += a[i]
+		if a[i] > maxA {
+			maxA = a[i]
+		}
+		sumLoad += load[i]
+		if ex := load[i] - 1; ex > maxExcess {
+			maxExcess = ex
+		}
+		if s.DurationSec > 0 {
+			sumWin += (end[i] - start[i]) / s.DurationSec
+		}
+		sumCont += contenders[i]
+		if start[i] < minStart {
+			minStart = start[i]
+		}
+		if start[i] > maxStart {
+			maxStart = start[i]
+		}
+	}
+	inv := 1.0 / float64(n)
+	spread := 0.0
+	if n > 1 && s.DurationSec > 0 {
+		spread = (maxStart - minStart) / s.DurationSec
+	}
+	slope, intercept := 0.0, 0.0
+	mltcpFlag := 0.0
+	if _, mltcp, ok := s.CC(); ok && mltcp {
+		mltcpFlag = 1
+		slope, intercept = core.DefaultSlope, core.DefaultIntercept
+		if s.SlopeIntercept != nil {
+			slope, intercept = s.SlopeIntercept[0], s.SlopeIntercept[1]
+		}
+	}
+	centralized := 0.0
+	if s.Centralized() {
+		centralized = 1
+	}
+	v := Vector{
+		{"bias", 1},
+		{"njobs", float64(n)},
+		{"log_njobs", math.Log1p(float64(n))},
+		{"cap_rel", s.CapacityGbps / 50},
+		{"log_dur", math.Log1p(s.DurationSec)},
+		{"stagger_ms", s.Stagger().Seconds() * 1000},
+		{pn.policy, 1},
+		{"mltcp", mltcpFlag},
+		{"mltcp_slope", mltcpFlag * slope},
+		{"mltcp_intercept", mltcpFlag * intercept},
+		{"centralized", centralized},
+		{"sum_a", sumA},
+		{"mean_a", sumA * inv},
+		{"max_a", maxA},
+		{"mean_load", sumLoad * inv},
+		{"max_excess", math.Max(0, maxExcess)},
+		{"mean_window", sumWin * inv},
+		{"mean_contenders", sumCont * inv},
+		{"start_spread", spread},
+	}
+	if cl != nil {
+		pathLen := 0.0
+		for _, p := range cl.Paths {
+			pathLen += float64(len(p))
+		}
+		v = append(v,
+			Feature{"topo=" + s.Topology.Kind, 1},
+			Feature{"racks", float64(cl.Fab.Racks())},
+			Feature{"oversub", cl.Fab.Oversubscription()},
+			Feature{"mean_path_len", pathLen * inv},
+		)
+	}
+	return v
+}

@@ -1,0 +1,124 @@
+// Package gen generates training corpora for the learned backend: it
+// fans scenario grids over the harness worker pool with an exact backend
+// (fluid by default), extracts each run's feature vectors and simulated
+// targets, and assembles them into the versioned JSONL corpus format of
+// internal/learn. Grids are pure functions — the same (grid, seed) yields
+// byte-identical corpora at any worker count.
+package gen
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/config"
+	"mltcp/internal/harness"
+	"mltcp/internal/learn"
+	"mltcp/internal/place"
+	"mltcp/internal/sim"
+)
+
+// GridNames returns the available grid names in a stable order.
+func GridNames() []string { return []string{"quick", "full"} }
+
+// Grid returns the named scenario grid, normalized and ready to run.
+func Grid(name string) ([]*config.Scenario, error) {
+	var scns []*config.Scenario
+	switch name {
+	case "quick":
+		scns = quickGrid()
+	case "full":
+		scns = fullGrid()
+	default:
+		return nil, fmt.Errorf("gen: unknown grid %q (valid: %s)",
+			name, strings.Join(GridNames(), ", "))
+	}
+	for _, s := range scns {
+		if err := s.Normalize(); err != nil {
+			return nil, fmt.Errorf("gen: grid %q scenario %q: %w", name, s.Name, err)
+		}
+	}
+	return scns, nil
+}
+
+// Generate runs the named grid on the named backend and extracts one
+// corpus run per scenario. Scenario i runs with seed
+// sim.DeriveSeed(seed, i) on any free worker; results are assembled in
+// grid order, so the corpus is byte-identical at any worker count.
+// Topology scenarios are dropped for non-fluid backends (the packet stack
+// has no fabric model); the drop is by grid position, hence deterministic.
+func Generate(ctx context.Context, gridName, backendName string, seed uint64, workers int) (learn.CorpusHeader, []learn.CorpusRun, error) {
+	b, err := backend.New(backendName)
+	if err != nil {
+		return learn.CorpusHeader{}, nil, err
+	}
+	scns, err := Grid(gridName)
+	if err != nil {
+		return learn.CorpusHeader{}, nil, err
+	}
+	if backendName != backend.NameFluid {
+		kept := scns[:0]
+		for _, s := range scns {
+			_, _, cc := s.CC()
+			if s.Topology == nil && (cc || s.Centralized()) {
+				kept = append(kept, s)
+			}
+		}
+		scns = kept
+	}
+	cfg := harness.Config{Workers: workers, BaseSeed: seed}
+	rs := harness.Run(ctx, cfg, len(scns), func(ctx context.Context, pt harness.Point) (learn.CorpusRun, error) {
+		res, err := b.Run(ctx, scns[pt.Index], pt.Seed)
+		if err != nil {
+			return learn.CorpusRun{}, err
+		}
+		return runFromResult(scns[pt.Index], pt.Seed, res), nil
+	})
+	runs, err := harness.Values(rs)
+	if err != nil {
+		return learn.CorpusHeader{}, nil, err
+	}
+	h := learn.CorpusHeader{Grid: gridName, Backend: backendName, Seed: seed, Runs: len(runs)}
+	return h, runs, nil
+}
+
+// runFromResult turns one simulated result into a corpus line: the
+// scenario's feature vectors plus every head target the model trains on.
+func runFromResult(s *config.Scenario, seed uint64, res *backend.Result) learn.CorpusRun {
+	specs := s.Specs()
+	cl := place.Compile(s, specs, seed)
+	f := learn.Extract(s, specs, cl)
+	run := learn.CorpusRun{
+		Scenario: s.Name,
+		Seed:     seed,
+		Scn:      f.Scenario.Map(),
+		Overlap:  res.OverlapScore,
+	}
+	maxIter := 0
+	for _, j := range res.Jobs {
+		if len(j.IterTimes) > maxIter {
+			maxIter = len(j.IterTimes)
+		}
+	}
+	run.InterleaveFrac = learn.InterleaveNever
+	if res.InterleavedAt >= 0 && maxIter > 0 {
+		run.InterleaveFrac = float64(res.InterleavedAt) / float64(maxIter)
+	}
+	for q := sim.Time(0); q < 4; q++ {
+		run.OverlapQ = append(run.OverlapQ, backend.OverlapScoreOf(res.Jobs,
+			res.Duration*q/4, res.Duration*(q+1)/4))
+	}
+	for i, j := range res.Jobs {
+		run.Jobs = append(run.Jobs, learn.CorpusJob{
+			F:        f.Jobs[i].Map(),
+			Slowdown: j.Slowdown(learn.SteadySkip),
+		})
+	}
+	if res.Cluster != nil {
+		run.Topology = true
+		run.SharedOverlap = res.Cluster.SharedOverlap
+		run.DisjointOverlap = res.Cluster.DisjointOverlap
+	}
+	return run
+}

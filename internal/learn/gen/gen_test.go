@@ -1,0 +1,64 @@
+package gen
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/learn"
+)
+
+// TestGenerateWorkerCountInvariant is the corpus half of the determinism
+// guarantee: the quick grid serialized from a 1-worker run and an
+// 8-worker run must be byte-identical — results assemble in grid order
+// and each scenario's seed derives from its grid position, never from
+// scheduling.
+func TestGenerateWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick grid twice")
+	}
+	gen := func(workers int) []byte {
+		h, runs, err := Generate(context.Background(), "quick", backend.NameFluid, 1, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := learn.WriteCorpus(&b, h, runs); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	serial, parallel := gen(1), gen(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("quick-grid corpus bytes differ between 1 and 8 workers")
+	}
+	if _, runs, err := learn.ReadCorpus(bytes.NewReader(serial)); err != nil || len(runs) == 0 {
+		t.Fatalf("generated corpus does not parse: %v (%d runs)", err, len(runs))
+	}
+}
+
+// TestGridNamesResolve: every advertised grid builds and normalizes, and
+// scenario names are unique (duplicate names would collapse corpus
+// provenance).
+func TestGridNamesResolve(t *testing.T) {
+	for _, name := range GridNames() {
+		scns, err := Grid(name)
+		if err != nil {
+			t.Fatalf("grid %q: %v", name, err)
+		}
+		if len(scns) == 0 {
+			t.Fatalf("grid %q is empty", name)
+		}
+		seen := map[string]bool{}
+		for _, s := range scns {
+			if seen[s.Name] {
+				t.Errorf("grid %q: duplicate scenario name %q", name, s.Name)
+			}
+			seen[s.Name] = true
+		}
+	}
+	if _, err := Grid("nope"); err == nil {
+		t.Fatal("unknown grid accepted")
+	}
+}

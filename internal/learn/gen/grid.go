@@ -1,0 +1,226 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"mltcp/internal/config"
+	"mltcp/internal/experiments"
+	"mltcp/internal/sim"
+)
+
+// gridSeed fixes the internal stream that samples grid variations
+// (durations, capacities, staggers). It is independent of the corpus seed
+// on purpose: the grid is part of the corpus *format*, and the seed only
+// perturbs run-time noise/ECMP streams.
+const gridSeed = 42
+
+// dumbbell builds a single-bottleneck scenario from profile names. A
+// name may carry a replica count suffix ("gpt2*4").
+func dumbbell(name, policy string, durationSec, capGbps float64, jobs ...string) *config.Scenario {
+	s := &config.Scenario{
+		Name:         name,
+		Policy:       policy,
+		DurationSec:  durationSec,
+		CapacityGbps: capGbps,
+	}
+	for _, j := range jobs {
+		prof, count := j, 0
+		if base, n, ok := strings.Cut(j, "*"); ok {
+			prof = base
+			count = int(n[0] - '0')
+		}
+		s.Jobs = append(s.Jobs, config.Job{Profile: prof, Count: count})
+	}
+	return s
+}
+
+// profileSets are the dumbbell workload mixes both grids draw from,
+// spanning comm-heavy, compute-heavy, homogeneous, and mixed shapes.
+var profileSets = [][]string{
+	{"gpt2", "gpt2"},
+	{"gpt3", "gpt2*3"},
+	{"gpt3", "gpt2"},
+	{"gpt3", "gpt3"},
+	{"bert", "vgg16"},
+	{"gpt2*4"},
+	{"gpt2", "bert", "resnet50", "vgg16"},
+	{"dlrm", "dlrm"},
+	{"bert*3"},
+	{"vgg16*2", "dlrm"},
+	{"gpt3", "bert"},
+	{"gpt2*8"},
+}
+
+func setLabel(set []string) string { return strings.Join(set, "+") }
+
+// centralizedSafe reports whether a profile set's iteration periods are
+// commensurate enough for the centralized offset optimizer: sched.Optimize
+// sweeps the jobs' common hyperperiod, which explodes for mixes like
+// vgg16/resnet50 whose comm durations have a tiny GCD. The grid only runs
+// centralized points on sets whose hyperperiod stays small (and pins them
+// to the default 50 Gbps for the same reason).
+func centralizedSafe(set []string) bool {
+	for _, j := range set {
+		base, _, _ := strings.Cut(j, "*")
+		switch base {
+		case "vgg16", "resnet50":
+			return false
+		}
+	}
+	return true
+}
+
+// fullGrid is the production training grid: every profile set crossed
+// with every policy under sampled duration/capacity/stagger variation,
+// mltcp slope/intercept variants, both eval scenarios verbatim, and a
+// spread of trace-driven cluster scenarios.
+func fullGrid() []*config.Scenario {
+	rng := sim.NewRNG(gridSeed)
+	durations := []float64{60, 90, 120}
+	capacities := []float64{25, 50, 100}
+	staggers := []float64{0, 5, 10}
+	policies := append(config.CCPolicyNames(), "srpt", "las", "centralized")
+	var out []*config.Scenario
+	for _, set := range profileSets {
+		for _, pol := range policies {
+			// Draw variation before the safety gate so skipping a point
+			// does not shift later scenarios' draws.
+			dur := durations[rng.Intn(len(durations))]
+			capG := capacities[rng.Intn(len(capacities))]
+			st := staggers[rng.Intn(len(staggers))]
+			dur2 := durations[rng.Intn(len(durations))]
+			if pol == "centralized" && !centralizedSafe(set) {
+				continue
+			}
+			if pol == "centralized" {
+				capG = 50
+			}
+			s := dumbbell(setLabel(set)+"/"+pol, pol, dur, capG, set...)
+			s.StaggerMS = &st
+			out = append(out, s)
+			// A second draw at the default 50 Gbps widens coverage of the
+			// capacity the eval scenarios run at.
+			s2 := dumbbell(setLabel(set)+"/"+pol+"/50g", pol, dur2, 50, set...)
+			out = append(out, s2)
+		}
+		// MLTCP aggressiveness variants (Equation 2 parameters).
+		for vi, si := range [][]float64{{1, 0.5}, {2.5, 0.1}, {1.75, 0.25}} {
+			s := dumbbell(fmt.Sprintf("%s/mltcp-si%d", setLabel(set), vi), "mltcp", 90, 50, set...)
+			s.SlopeIntercept = si
+			out = append(out, s)
+		}
+	}
+	out = append(out, experiments.CanonicalTwoJob())
+	out = append(out, clusterScenarios(false)...)
+	return out
+}
+
+// quickGrid is the CI-sized grid: a policy/mix sample plus both eval
+// scenarios, small enough to regenerate in seconds.
+func quickGrid() []*config.Scenario {
+	var out []*config.Scenario
+	quick := []struct {
+		set []string
+		pol string
+		dur float64
+	}{
+		{[]string{"gpt2", "gpt2"}, "mltcp", 60},
+		{[]string{"gpt2", "gpt2"}, "reno", 60},
+		{[]string{"gpt2", "gpt2"}, "srpt", 60},
+		{[]string{"gpt2", "gpt2"}, "centralized", 60},
+		{[]string{"gpt3", "gpt2*3"}, "mltcp", 60},
+		{[]string{"gpt3", "gpt2*3"}, "cubic", 60},
+		{[]string{"bert", "vgg16"}, "mltcp-dctcp", 45},
+		{[]string{"bert", "vgg16"}, "swift", 45},
+		{[]string{"dlrm", "dlrm"}, "mltcp", 45},
+		{[]string{"gpt2*4"}, "mltcp", 60},
+		{[]string{"gpt2*4"}, "las", 60},
+		{[]string{"gpt3", "bert"}, "mltcp-swift", 45},
+	}
+	for _, q := range quick {
+		out = append(out, dumbbell(setLabel(q.set)+"/"+q.pol, q.pol, q.dur, 50, q.set...))
+	}
+	out = append(out, experiments.CanonicalTwoJob())
+	out = append(out, clusterScenarios(true)...)
+	return out
+}
+
+// evalClusterOpts is the quick cluster scenario the acceptance criteria
+// evaluate prediction error on; both grids include it verbatim.
+func evalClusterOpts() experiments.ClusterOpts { return experiments.QuickClusterOpts() }
+
+// clusterScenarios returns the trace-driven cluster slice of a grid.
+func clusterScenarios(quick bool) []*config.Scenario {
+	var out []*config.Scenario
+	add := func(o experiments.ClusterOpts, suffix string) {
+		s := experiments.ClusterScenario(o)
+		if suffix != "" {
+			s.Name += "/" + suffix
+		}
+		out = append(out, s)
+	}
+	// The eval trace appears several times so training sees several run
+	// seeds (each grid position derives its own seed, hence its own ECMP
+	// placement of the same arrivals).
+	add(evalClusterOpts(), "")
+	add(evalClusterOpts(), "r2")
+	if quick {
+		add(evalClusterOpts(), "r3")
+		small := evalClusterOpts()
+		small.Jobs = 16
+		small.DurationSec = 8
+		small.Policy = "reno"
+		add(small, "reno")
+		return out
+	}
+	add(evalClusterOpts(), "r3")
+	add(evalClusterOpts(), "r4")
+	add(evalClusterOpts(), "r5")
+	add(evalClusterOpts(), "r6")
+	ft4 := func() experiments.ClusterOpts {
+		o := evalClusterOpts()
+		return o
+	}
+	// No centralized cluster point: the offset optimizer's hyperperiod
+	// sweep is intractable for 24 heterogeneous per-path periods.
+	for _, pol := range []string{"reno", "cubic", "mltcp-dctcp", "mltcp-swift"} {
+		o := ft4()
+		o.Policy = pol
+		add(o, pol)
+	}
+	for _, seed := range []uint64{7, 23, 31} {
+		o := ft4()
+		o.Seed = seed
+		add(o, fmt.Sprintf("trace%d", seed))
+	}
+	for _, jobs := range []int{12, 16, 32, 48} {
+		o := ft4()
+		o.Jobs = jobs
+		add(o, "")
+	}
+	for _, rate := range []float64{2, 4} {
+		o := ft4()
+		o.ArrivalRatePerSec = rate
+		o.DurationSec = 15
+		add(o, fmt.Sprintf("rate%g", rate))
+	}
+	for _, mi := range []int{4, 16} {
+		o := ft4()
+		o.MeanIters = mi
+		add(o, fmt.Sprintf("iters%d", mi))
+	}
+	ls := experiments.ClusterOpts{
+		Topology:          &config.Topology{Kind: config.KindLeafSpine, Leaves: 4, Spines: 2, HostsPerLeaf: 4},
+		Jobs:              20,
+		ArrivalRatePerSec: 6,
+		MeanIters:         8,
+		DurationSec:       12,
+		Seed:              11,
+	}
+	add(ls, "")
+	lsr := ls
+	lsr.Policy = "reno"
+	add(lsr, "reno")
+	return out
+}

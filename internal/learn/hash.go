@@ -1,0 +1,44 @@
+package learn
+
+// Dim is the hashed feature-space dimensionality. Feature names are
+// FNV-1a-hashed into [0, Dim) with a sign bit, the standard hashing trick:
+// the model never needs a vocabulary file, and unseen feature names (new
+// policies, new topology kinds) degrade gracefully instead of erroring.
+const Dim = 256
+
+// fnv1a is the 64-bit FNV-1a hash of s (inlined rather than hash/fnv so
+// the serving path allocates nothing).
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// slot returns the hashed index and sign for a feature name. The sign bit
+// (bit 63, independent of the index bits) debiases collisions: two names
+// landing in the same slot cancel in expectation instead of always adding.
+func slot(name string) (idx int, sign float64) {
+	h := fnv1a(name)
+	idx = int(h % Dim)
+	if h>>63 == 1 {
+		return idx, -1
+	}
+	return idx, 1
+}
+
+// HashInto accumulates v into the dense vector x (len Dim). Callers zero
+// or pre-fill x; Learned.Run hashes the scenario vector once and copies it
+// as the base for every per-job vector.
+func HashInto(x []float64, v Vector) {
+	for _, f := range v {
+		idx, sign := slot(f.Name)
+		x[idx] += sign * f.Value
+	}
+}

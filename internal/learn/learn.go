@@ -1,0 +1,31 @@
+// Package learn is the m4-style learned-simulation subsystem: it turns
+// scenarios into feature vectors, simulator runs into training examples,
+// and a versioned corpus into a small pure-Go regression model that
+// predicts flow-level outcomes (per-job steady-state slowdown, overlap
+// scores, the interleave point) in microseconds instead of re-simulating
+// them. backend.Learned serves these predictions behind the ordinary
+// Backend interface as the repo's third fidelity tier.
+//
+// Every stage is deterministic by construction: feature extraction is a
+// pure function of (scenario, seed), the corpus encoder emits sorted-key
+// JSON lines so generation is byte-identical at any harness worker count,
+// and training draws all of its randomness (stump tie-breaking, feature
+// subsampling) from a SplitMix64 stream seeded by the caller — the same
+// (corpus, seed) always trains the same model file, byte for byte.
+package learn
+
+// SteadySkip is the transient cut every corpus slowdown target is stated
+// at, matching the canonical cross-fidelity skip in internal/experiments.
+// Served predictions are skip-invariant (synthesized timelines are
+// uniform), so one labeling convention suffices.
+const SteadySkip = 20
+
+// Feature is one named input to the model. Vectors are ordered slices —
+// never maps — so every consumer iterates them deterministically.
+type Feature struct {
+	Name  string
+	Value float64
+}
+
+// Vector is an ordered feature list.
+type Vector []Feature

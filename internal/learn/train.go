@@ -1,0 +1,270 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mltcp/internal/sim"
+)
+
+// Example is one training pair: a dense hashed input and its target.
+type Example struct {
+	X []float64
+	Y float64
+}
+
+// TrainOpts tunes training. The zero value selects defaults.
+type TrainOpts struct {
+	// Seed drives every random choice (stump tie-breaking, per-round
+	// feature subsampling) through SplitMix64-derived streams; training is
+	// a pure function of (corpus, opts).
+	Seed uint64
+	// Lambda is the ridge regularization strength (default 3).
+	Lambda float64
+	// Rounds is the number of boosted stumps fit for the per-job slowdown
+	// head (default 200). Scenario-level heads cap at scenarioRounds: they
+	// see one example per run rather than one per job, and they are served
+	// on every Run, so both overfit and serving cost argue for shallower
+	// ensembles.
+	Rounds int
+	// Shrink is the boosting shrinkage (default 0.15).
+	Shrink float64
+	// DimFrac is the fraction of feature dimensions considered per
+	// boosting round (default 0.7).
+	DimFrac float64
+}
+
+func (o TrainOpts) withDefaults() TrainOpts {
+	if o.Lambda == 0 {
+		o.Lambda = 3
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 200
+	}
+	if o.Shrink == 0 {
+		o.Shrink = 0.15
+	}
+	if o.DimFrac == 0 {
+		o.DimFrac = 0.7
+	}
+	return o
+}
+
+// ExamplesFromCorpus converts corpus runs into per-head training sets.
+// Jobs the simulator observed at zero slowdown (never completed an
+// iteration inside the horizon) are excluded from the slowdown head: the
+// serving path reproduces them geometrically, so the model only learns
+// contention of jobs that actually ran.
+func ExamplesFromCorpus(runs []CorpusRun) map[string][]Example {
+	out := make(map[string][]Example)
+	add := func(head string, x []float64, y float64) {
+		out[head] = append(out[head], Example{X: x, Y: y})
+	}
+	for _, run := range runs {
+		base := make([]float64, Dim)
+		HashMapInto(base, run.Scn)
+		for _, j := range run.Jobs {
+			if j.Slowdown <= 0 {
+				continue
+			}
+			x := make([]float64, Dim)
+			copy(x, base)
+			HashMapInto(x, j.F)
+			add(HeadSlowdown, x, j.Slowdown)
+		}
+		add(HeadOverlap, base, run.Overlap)
+		add(HeadInterleave, base, run.InterleaveFrac)
+		if run.Topology {
+			add(HeadSharedOverlap, base, run.SharedOverlap)
+			add(HeadDisjointLoad, base, run.DisjointOverlap)
+		}
+		if len(run.OverlapQ) == 4 {
+			for q, head := range []string{HeadOverlapQ1, HeadOverlapQ2, HeadOverlapQ3, HeadOverlapQ4} {
+				add(head, base, run.OverlapQ[q])
+			}
+		}
+	}
+	return out
+}
+
+// Train fits one head per target present in the corpus: a ridge
+// regression base plus boosted stumps on its residuals. The result is
+// deterministic — equal (runs, opts) yield byte-identical encoded models.
+func Train(h CorpusHeader, runs []CorpusRun, opts TrainOpts) *Model {
+	opts = opts.withDefaults()
+	sets := ExamplesFromCorpus(runs)
+	names := make([]string, 0, len(sets))
+	for name := range sets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	m := &Model{
+		Schema: ModelSchema,
+		Dim:    Dim,
+		Seed:   opts.Seed,
+		Corpus: fmt.Sprintf("%s/%s: %d runs", h.Grid, h.Backend, h.Runs),
+	}
+	for hi, name := range names {
+		headSeed := sim.DeriveSeed(opts.Seed, uint64(hi))
+		m.Heads = append(m.Heads, trainHead(name, sets[name], opts, headSeed))
+	}
+	return m
+}
+
+// scenarioRounds bounds boosting depth for scenario-level heads.
+const scenarioRounds = 64
+
+func trainHead(name string, ex []Example, opts TrainOpts, seed uint64) HeadModel {
+	if name != HeadSlowdown && opts.Rounds > scenarioRounds {
+		opts.Rounds = scenarioRounds
+	}
+	head := HeadModel{Name: name, Weights: ridge(ex, opts.Lambda)}
+	if len(ex) < 8 {
+		return head
+	}
+	// Residual boosting with decision stumps.
+	res := make([]float64, len(ex))
+	for e := range ex {
+		res[e] = ex[e].Y - head.Predict(ex[e].X)
+	}
+	// Presort example indices per dimension once; splits scan each dim in
+	// O(n) with running sums. Dims unused by every example are skipped.
+	var dims []int
+	order := make([][]int, Dim)
+	for d := 0; d < Dim; d++ {
+		used := false
+		for e := range ex {
+			if ex[e].X[d] != 0 {
+				used = true
+				break
+			}
+		}
+		if !used {
+			continue
+		}
+		idx := make([]int, len(ex))
+		for e := range idx {
+			idx[e] = e
+		}
+		d := d
+		sort.SliceStable(idx, func(a, b int) bool { return ex[idx[a]].X[d] < ex[idx[b]].X[d] })
+		order[d] = idx
+		dims = append(dims, d)
+	}
+	for round := 0; round < opts.Rounds; round++ {
+		rng := sim.NewRNGAt(seed, uint64(round))
+		total := 0.0
+		for _, r := range res {
+			total += r
+		}
+		noSplit := total * total / float64(len(ex))
+		best := Stump{Dim: -1}
+		bestGain, bestPrio := noSplit, uint64(0)
+		for _, d := range dims {
+			include := rng.Float64() < opts.DimFrac
+			prio := rng.Uint64()
+			if !include {
+				continue
+			}
+			idx := order[d]
+			ls, ln := 0.0, 0
+			for p := 0; p < len(idx)-1; p++ {
+				ls += res[idx[p]]
+				ln++
+				lv, rv := ex[idx[p]].X[d], ex[idx[p+1]].X[d]
+				if lv == rv { //lint:allow simunits equal feature values cannot host a split boundary; this partitions identical inputs, not scores
+					continue
+				}
+				rs, rn := total-ls, len(idx)-ln
+				gain := ls*ls/float64(ln) + rs*rs/float64(rn)
+				if gain > bestGain+1e-12 || (gain > bestGain-1e-12 && prio > bestPrio) {
+					bestGain, bestPrio = gain, prio
+					best = Stump{
+						Dim:       d,
+						Threshold: lv + (rv-lv)/2,
+						Left:      opts.Shrink * ls / float64(ln),
+						Right:     opts.Shrink * rs / float64(rn),
+					}
+				}
+			}
+		}
+		if best.Dim < 0 || bestGain <= noSplit+1e-9 {
+			break
+		}
+		head.Stumps = append(head.Stumps, best)
+		for e := range ex {
+			if ex[e].X[best.Dim] <= best.Threshold {
+				res[e] -= best.Left
+			} else {
+				res[e] -= best.Right
+			}
+		}
+	}
+	return head
+}
+
+// ridge solves (XᵀX + λI)w = Xᵀy by Cholesky factorization, accumulating
+// the normal equations in corpus order so the floats are reproducible.
+func ridge(ex []Example, lambda float64) []float64 {
+	a := make([]float64, Dim*Dim)
+	b := make([]float64, Dim)
+	for _, e := range ex {
+		for i := 0; i < Dim; i++ {
+			xi := e.X[i]
+			if xi == 0 {
+				continue
+			}
+			b[i] += xi * e.Y
+			row := a[i*Dim : (i+1)*Dim]
+			for j, xj := range e.X {
+				if xj != 0 {
+					row[j] += xi * xj
+				}
+			}
+		}
+	}
+	for i := 0; i < Dim; i++ {
+		a[i*Dim+i] += lambda
+	}
+	return cholSolve(a, b)
+}
+
+// cholSolve solves Aw = b for symmetric positive-definite A (n = Dim).
+func cholSolve(a, b []float64) []float64 {
+	const n = Dim
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum < 1e-12 {
+					sum = 1e-12
+				}
+				l[i*n+i] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l[i*n+k] * y[k]
+		}
+		y[i] = s / l[i*n+i]
+	}
+	w := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k*n+i] * w[k]
+		}
+		w[i] = s / l[i*n+i]
+	}
+	return w
+}

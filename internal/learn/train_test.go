@@ -1,0 +1,136 @@
+package learn
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// syntheticCorpus builds a small deterministic corpus with enough runs
+// and jobs to exercise the ridge base, the boosting path, and every
+// scenario-level head.
+func syntheticCorpus() (CorpusHeader, []CorpusRun) {
+	var runs []CorpusRun
+	for r := 0; r < 24; r++ {
+		load := 0.5 + 0.1*float64(r%7)
+		run := CorpusRun{
+			Scenario: fmt.Sprintf("syn-%d", r),
+			Seed:     uint64(r),
+			Scn: map[string]float64{
+				"bias":      1,
+				"njobs":     float64(2 + r%3),
+				"mean_load": load,
+			},
+			Overlap:        math.Mod(0.37*float64(r+1), 1),
+			InterleaveFrac: math.Mod(0.21*float64(r+1), 1.25),
+			OverlapQ: []float64{
+				math.Mod(0.13*float64(r+1), 1),
+				math.Mod(0.29*float64(r+1), 1),
+				math.Mod(0.41*float64(r+1), 1),
+				math.Mod(0.53*float64(r+1), 1),
+			},
+		}
+		for j := 0; j < 2+r%3; j++ {
+			a := 0.2 + 0.05*float64((r+j)%9)
+			run.Jobs = append(run.Jobs, CorpusJob{
+				F:        map[string]float64{"j:a": a, "j:load": load + a},
+				Slowdown: 1 + a*load,
+			})
+		}
+		runs = append(runs, run)
+	}
+	h := CorpusHeader{Grid: "synthetic", Backend: "fluid", Seed: 7, Runs: len(runs)}
+	return h, runs
+}
+
+// TestTrainDeterministic is the training half of the determinism
+// guarantee: equal (corpus, seed) must encode byte-identical models.
+func TestTrainDeterministic(t *testing.T) {
+	h, runs := syntheticCorpus()
+	enc := func() []byte {
+		m := Train(h, runs, TrainOpts{Seed: 3})
+		var b bytes.Buffer
+		if err := m.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	first, second := enc(), enc()
+	if !bytes.Equal(first, second) {
+		t.Fatal("same (corpus, seed) trained different model bytes")
+	}
+
+	m, err := ReadModel(bytes.NewReader(first))
+	if err != nil {
+		t.Fatalf("trained model does not round-trip: %v", err)
+	}
+	if m.Head(HeadSlowdown) == nil {
+		t.Fatal("trained model has no slowdown head")
+	}
+	for _, head := range m.Heads {
+		if head.Name != HeadSlowdown && len(head.Stumps) > scenarioRounds {
+			t.Errorf("scenario head %q fit %d stumps, cap is %d",
+				head.Name, len(head.Stumps), scenarioRounds)
+		}
+	}
+}
+
+// TestTrainSeedChangesModel guards against the seed being silently
+// ignored: training randomness (feature subsampling, tie-breaking) must
+// flow from it.
+func TestTrainSeedChangesModel(t *testing.T) {
+	h, runs := syntheticCorpus()
+	enc := func(seed uint64) []byte {
+		var b bytes.Buffer
+		if err := Train(h, runs, TrainOpts{Seed: seed}).Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	if bytes.Equal(enc(3), enc(4)) {
+		t.Fatal("different training seeds produced identical model bytes")
+	}
+}
+
+// TestCorpusRoundTrip pins the corpus JSONL encoder/decoder pair and its
+// byte determinism.
+func TestCorpusRoundTrip(t *testing.T) {
+	h, runs := syntheticCorpus()
+	var a bytes.Buffer
+	if err := WriteCorpus(&a, h, runs); err != nil {
+		t.Fatal(err)
+	}
+	gotH, gotRuns, err := ReadCorpus(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH.Grid != h.Grid || gotH.Backend != h.Backend || gotH.Runs != len(runs) {
+		t.Fatalf("header round-trip: %+v", gotH)
+	}
+	var b bytes.Buffer
+	if err := WriteCorpus(&b, gotH, gotRuns); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("corpus re-encode diverged from original bytes")
+	}
+}
+
+// TestExamplesFromCorpusSkipsZeroSlowdownJobs: jobs the simulator never
+// saw complete an iteration carry no slowdown signal and must not train
+// the per-job head.
+func TestExamplesFromCorpusSkipsZeroSlowdownJobs(t *testing.T) {
+	runs := []CorpusRun{{
+		Scenario: "z",
+		Scn:      map[string]float64{"bias": 1},
+		Jobs: []CorpusJob{
+			{F: map[string]float64{"j:a": 0.3}, Slowdown: 1.2},
+			{F: map[string]float64{"j:a": 0.4}, Slowdown: 0},
+		},
+	}}
+	sets := ExamplesFromCorpus(runs)
+	if got := len(sets[HeadSlowdown]); got != 1 {
+		t.Fatalf("slowdown head got %d examples, want 1", got)
+	}
+}

@@ -1,6 +1,6 @@
 // Fixture for the registryname analyzer, type-checked under an
-// impersonated mltcp/cmd/... package path. "fluid", "packet", and
-// "centralized" are live registry names; "other" is not.
+// impersonated mltcp/cmd/... package path. "fluid", "packet", "learned",
+// and "centralized" are live registry names; "other" is not.
 package fixture
 
 func dispatch(name string) int {
@@ -9,6 +9,8 @@ func dispatch(name string) int {
 		return 1
 	case "other": // not a registry name: clean
 		return 2
+	case "learned": // want `registry name .learned. hand-written in a case clause`
+		return 5
 	}
 	if name == "packet" { // want `registry name .packet. hand-written in a comparison`
 		return 3

@@ -127,6 +127,32 @@ var benchMetrics = []benchMetric{
 	{name: "sim_wall_ratio", get: func(p BenchPoint) float64 { return p.SimWallRatio }, higherIsBetter: true},
 }
 
+// MetricValue is one comparison metric evaluated on a point, annotated
+// with its direction and gating — so output for a point with no baseline
+// can say which way each figure will gate once it is baselined, instead
+// of printing bare numbers whose polarity the reader must guess.
+type MetricValue struct {
+	Name           string
+	Value          float64
+	HigherIsBetter bool
+	Gated          bool
+}
+
+// PointMetrics evaluates every comparison metric on one point, in
+// report order.
+func PointMetrics(p BenchPoint) []MetricValue {
+	out := make([]MetricValue, len(benchMetrics))
+	for i, m := range benchMetrics {
+		out[i] = MetricValue{
+			Name:           m.name,
+			Value:          m.get(p),
+			HigherIsBetter: m.higherIsBetter,
+			Gated:          m.gated,
+		}
+	}
+	return out
+}
+
 // Delta is one (point, metric) comparison. Change is the fractional
 // movement in the regression direction: +0.25 means 25% worse, negative
 // means improved.

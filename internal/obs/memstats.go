@@ -5,9 +5,9 @@ import (
 	"runtime/metrics"
 )
 
-// MemSnapshot is a point-in-time view of the process allocator, taken with
-// runtime.ReadMemStats. Two snapshots bracket a measured region; their
-// difference is the region's allocation cost.
+// MemSnapshot is a point-in-time view of the process allocator. Two
+// snapshots bracket a measured region; their difference is the region's
+// allocation cost.
 type MemSnapshot struct {
 	// TotalAllocBytes is the cumulative bytes allocated on the heap.
 	TotalAllocBytes uint64
@@ -20,8 +20,12 @@ type MemSnapshot struct {
 	GCCycles uint32
 }
 
-// ReadMem takes a memory snapshot. It stops the world briefly; call it at
-// measured-region boundaries, not inside hot loops.
+// ReadMem takes an exact memory snapshot with runtime.ReadMemStats. It
+// stops the world briefly, which flushes every P's allocation cache —
+// that is what makes the counters exact, and also what makes it too
+// expensive to call inside a measured region. mltcp-bench brackets its
+// timed reps with this (outside the stopwatch window), so the gated
+// allocs-per-op figures count every object.
 func ReadMem() MemSnapshot {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -30,6 +34,42 @@ func ReadMem() MemSnapshot {
 		Mallocs:         ms.Mallocs,
 		HeapAllocBytes:  ms.HeapAlloc,
 		GCCycles:        ms.NumGC,
+	}
+}
+
+// memSamples are the runtime/metrics counters backing readMemFast,
+// matching ReadMem's TotalAlloc/Mallocs/HeapAlloc/NumGC fields. The
+// order is fixed; readMemFast indexes into a copy of this template.
+var memSamples = [...]metrics.Sample{
+	{Name: "/gc/heap/allocs:bytes"},
+	{Name: "/gc/heap/allocs:objects"},
+	{Name: "/memory/classes/heap/objects:bytes"},
+	{Name: "/gc/cycles/total:gc-cycles"},
+}
+
+// readMemFast takes a snapshot via runtime/metrics: no stop-the-world,
+// well under a microsecond — cheap enough for RunSpan to call inside the
+// measured window without distorting a microsecond-scale run (the
+// learned backend). The price is lazy small-object accounting: counts
+// parked in per-P allocation caches are missed until their span turns
+// over, so deltas over tiny regions under-report. Span alloc stats are
+// informational; anything gated reads ReadMem instead. The caller owns
+// the sample scratch (it would otherwise escape into metrics.Read and
+// cost an allocation inside the measured window).
+func readMemFast(s *[len(memSamples)]metrics.Sample) MemSnapshot {
+	copy(s[:], memSamples[:])
+	metrics.Read(s[:])
+	u := func(i int) uint64 {
+		if s[i].Value.Kind() != metrics.KindUint64 {
+			return 0
+		}
+		return s[i].Value.Uint64()
+	}
+	return MemSnapshot{
+		TotalAllocBytes: u(0),
+		Mallocs:         u(1),
+		HeapAllocBytes:  u(2),
+		GCCycles:        uint32(u(3)),
 	}
 }
 

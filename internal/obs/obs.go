@@ -21,6 +21,7 @@ package obs
 
 import (
 	"context"
+	"runtime/metrics"
 	"sync"
 	"time"
 
@@ -155,20 +156,22 @@ type RunSpan struct {
 	stats  RunStats
 	sw     Stopwatch
 	before MemSnapshot
+	samp   [len(memSamples)]metrics.Sample // readMemFast scratch
 }
 
 // StartRun opens a measurement span for one backend run (nil collector →
-// nil span, every span method a no-op).
+// nil span, every span method a no-op). Span memory deltas come from
+// readMemFast — cheap enough to sit inside a caller's timed window, at
+// the cost of lazily-accounted small-object counts (see memstats.go);
+// the RunStats alloc fields are informational, never gated.
 func (c *Collector) StartRun(backendName string) *RunSpan {
 	if c == nil {
 		return nil
 	}
-	return &RunSpan{
-		c:      c,
-		stats:  RunStats{Backend: backendName},
-		before: ReadMem(),
-		sw:     StartTimer(),
-	}
+	s := &RunSpan{c: c, stats: RunStats{Backend: backendName}}
+	s.before = readMemFast(&s.samp)
+	s.sw = StartTimer()
+	return s
 }
 
 // Heartbeat samples mid-run state; backends call it at integration-chunk
@@ -206,7 +209,7 @@ func (s *RunSpan) Finish(events uint64, simDur sim.Time) {
 	s.stats.Wall = s.sw.Elapsed()
 	s.stats.Events = events
 	s.stats.SimDuration = simDur
-	after := ReadMem()
+	after := readMemFast(&s.samp)
 	s.stats.AllocBytes = after.TotalAllocBytes - s.before.TotalAllocBytes
 	s.stats.Allocs = after.Mallocs - s.before.Mallocs
 	s.stats.GCCycles = after.GCCycles - s.before.GCCycles

@@ -58,10 +58,15 @@ type Manifest struct {
 	Revision string `json:"revision,omitempty"`
 	// Topology labels the cluster fabric ("fattree-4"), with its rack and
 	// directed-link counts. Empty for the single-bottleneck model.
-	Topology    string        `json:"topology,omitempty"`
-	Racks       int           `json:"racks,omitempty"`
-	FabricLinks int           `json:"fabric_links,omitempty"`
-	Jobs        []ManifestJob `json:"jobs"`
+	Topology    string `json:"topology,omitempty"`
+	Racks       int    `json:"racks,omitempty"`
+	FabricLinks int    `json:"fabric_links,omitempty"`
+	// Predicted marks a learned-backend run: the manifest describes model
+	// predictions rather than a simulation, and the trace carries no
+	// per-iteration events. omitempty keeps exact-backend traces
+	// byte-identical to pre-learned golden files.
+	Predicted bool          `json:"predicted,omitempty"`
+	Jobs      []ManifestJob `json:"jobs"`
 }
 
 // Duration returns the simulated horizon.

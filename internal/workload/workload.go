@@ -75,6 +75,26 @@ func Profiles() map[string]Profile {
 	return out
 }
 
+// ProfileByName resolves one built-in profile without building the map —
+// the serving hot path looks profiles up on every Run.
+func ProfileByName(name string) (Profile, bool) {
+	switch name {
+	case GPT3.Name:
+		return GPT3, true
+	case GPT2.Name:
+		return GPT2, true
+	case BERT.Name:
+		return BERT, true
+	case ResNet50.Name:
+		return ResNet50, true
+	case VGG16.Name:
+		return VGG16, true
+	case DLRM.Name:
+		return DLRM, true
+	}
+	return Profile{}, false
+}
+
 // Names returns the built-in profile names in declaration order (for
 // error messages and usage strings).
 func Names() []string {
