@@ -1,6 +1,6 @@
 # Developer entry points. Everything here is plain `go` tooling; the
 # only non-standard piece is cmd/mltcp-lint, the repo's own analyzer
-# suite (see docs/EXTENDING.md §7).
+# suite (see docs/EXTENDING.md §7 and §12).
 
 GO ?= go
 
@@ -15,13 +15,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One-shot static analysis: the four mltcp analyzers over the module.
-# Exits non-zero on any unsuppressed finding.
+# One-shot static analysis: the seven mltcp analyzers over the module,
+# facts accumulated in memory across the dependency graph. Exits
+# non-zero on any unsuppressed finding.
 lint:
 	$(GO) run ./cmd/mltcp-lint ./...
 
 # The same suite driven through `go vet`, sharing vet's per-package
-# caching — faster on incremental runs, and exactly what CI executes.
+# caching (fact files travel through the vetx channel) — faster on
+# incremental runs, and exactly what CI executes.
 vet-lint: bin/mltcp-lint
 	$(GO) vet -vettool=bin/mltcp-lint ./...
 

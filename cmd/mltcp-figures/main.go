@@ -431,7 +431,8 @@ func fct() {
 }
 
 func mixed() {
-	res := experiments.MixedTraffic(0.10, 60*sim.Second, 9)
+	const mixedSeed = 9 // root seed for the background-traffic arrival process
+	res := experiments.MixedTraffic(0.10, 60*sim.Second, mixedSeed)
 	fmt.Println("mixed traffic: 2 MLTCP jobs + 10% websearch background on one bottleneck")
 	fmt.Printf("  job steady iterations: %.3fs / %.3fs (no-contention ideal %.3fs)\n",
 		res.JobSteady[0].Seconds(), res.JobSteady[1].Seconds(), res.JobIdeal.Seconds())
@@ -457,10 +458,11 @@ func churn() {
 	fmt.Println("job churn: 1 GPT-3 + 5 GPT-2 jobs arriving over 60s, 60 iterations each")
 	agg := core.Default()
 	var rows [][]string
+	const churnSeed = 3 // shared root seed: identical arrival pattern across schemes
 	for _, c := range []experiments.ChurnResult{
-		experiments.Churn("mltcp", fluid.WeightedShare{}, &agg, 6, 60, 3),
-		experiments.Churn("reno", fluid.WeightedShare{}, nil, 6, 60, 3),
-		experiments.Churn("srpt", fluid.SRPT{Label: "pfabric"}, nil, 6, 60, 3),
+		experiments.Churn("mltcp", fluid.WeightedShare{}, &agg, 6, 60, churnSeed),
+		experiments.Churn("reno", fluid.WeightedShare{}, nil, 6, 60, churnSeed),
+		experiments.Churn("srpt", fluid.SRPT{Label: "pfabric"}, nil, 6, 60, churnSeed),
 	} {
 		rows = append(rows, []string{
 			c.Scheme,

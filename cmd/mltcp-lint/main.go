@@ -1,7 +1,12 @@
 // Command mltcp-lint runs the repo's custom static-analysis suite
-// (internal/lint): simdeterminism, simunits, telemetryemit, and
-// registryname — the invariants behind the byte-identical-replay
-// contract that generic linters cannot see.
+// (internal/lint): simdeterminism, simunits, telemetryemit,
+// registryname, seedflow, hotcall, and concguard — the invariants
+// behind the byte-identical-replay contract that generic linters
+// cannot see. The suite is interprocedural: per-function facts
+// (allocates, usesWallClock, rngSource, spawnsGoroutine) are computed
+// bottom-up over the call graph and carried across package boundaries —
+// in memory when standalone, through vet's vetx facts channel as a
+// vettool.
 //
 // Standalone:
 //

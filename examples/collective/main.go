@@ -46,8 +46,9 @@ func main() {
 	}
 	j1 := mkJob(0, 1)
 	j2 := mkJob(1, 100)
-	j1.Start(eng, 0, 1)
-	j2.Start(eng, 10*sim.Millisecond, 2)
+	const seedJob1, seedJob2 = 1, 2 // distinct root seeds per job
+	j1.Start(eng, 0, seedJob1)
+	j2.Start(eng, 10*sim.Millisecond, seedJob2)
 
 	eng.RunUntil(220 * sim.Second)
 

@@ -103,8 +103,9 @@ func Fairness() FairnessResult { return FairnessWithHorizon(60 * sim.Second) }
 func FairnessWithHorizon(horizon sim.Time) FairnessResult {
 	res := FairnessResult{LossProbs: []float64{0.002, 0.004, 0.008, 0.016, 0.032}}
 	for i, p := range res.LossProbs {
-		res.RenoMbps = append(res.RenoMbps, singleFlowGoodput(tcp.NewReno(), p, uint64(100+i), horizon))
-		res.MLTCPMbps = append(res.MLTCPMbps, singleFlowGoodput(mltcpCC(), p, uint64(100+i), horizon))
+		seed := uint64(100 + i) // distinct root seed per loss-probability point
+		res.RenoMbps = append(res.RenoMbps, singleFlowGoodput(tcp.NewReno(), p, seed, horizon))
+		res.MLTCPMbps = append(res.MLTCPMbps, singleFlowGoodput(mltcpCC(), p, seed, horizon))
 	}
 	res.RenoExponent = fitLogLogSlope(res.LossProbs, res.RenoMbps)
 	res.MLTCPExponent = fitLogLogSlope(res.LossProbs, res.MLTCPMbps)
@@ -117,7 +118,8 @@ func FairnessWithHorizon(horizon sim.Time) FairnessResult {
 	// Coexistence: Reno and MLTCP-Reno share a clean bottleneck; the
 	// only loss is their shared queue overflowing.
 	eng := sim.New()
-	net := fairnessNet(eng, 2, 0, 0)
+	const coexistSeed = 0 // lossless links: the loss RNG is never drawn
+	net := fairnessNet(eng, 2, 0, coexistSeed)
 	fr := tcp.NewFlow(eng, 1, net.Left[0], net.Right[0], tcp.NewReno(), tcp.Config{})
 	fm := tcp.NewFlow(eng, 2, net.Left[1], net.Right[1], mltcpCC(), tcp.Config{})
 	fr.Sender.Write(backlog)

@@ -1,0 +1,223 @@
+// ConcGuard: goroutine-lifecycle discipline. A deterministic harness
+// cannot tolerate goroutines that outlive their spawner — a straggler
+// writing telemetry after the run "finished" corrupts traces in a
+// schedule-dependent way. The rule: every go statement must carry join
+// evidence in its spawning scope, i.e. the spawned work must signal
+// completion through a sync.WaitGroup or a channel that the SAME scope
+// waits on (wg.Wait, a receive — possibly inside a ctx-bound select —
+// or a range over the channel) before returning.
+//
+// The check is deliberately scope-local and strict: a WaitGroup handed
+// to another function for joining, or a field waited on elsewhere, is
+// still a finding. Lifecycle obligations that genuinely cross function
+// boundaries are the reviewed exception — //lint:allow concguard with
+// the reason naming where the join happens.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ConcGuard requires every go statement to be joined before its
+// spawning scope returns.
+var ConcGuard = &Analyzer{
+	Name: "concguard",
+	Doc: `join every goroutine before its spawner returns
+
+Each go statement must have join evidence in the scope that spawns it:
+the goroutine signals completion via sync.WaitGroup.Done or a channel
+send/close, and the same scope calls Wait on that WaitGroup or receives
+from that channel (directly, in a select, or by ranging). Goroutines
+with no completion signal at all, or whose signal nothing in the scope
+waits for, are flagged. Spawn helpers that publish FactSpawnsGoroutine
+make callers visible to seedflow's RNG-escape check.`,
+	Run: runConcGuard,
+}
+
+func runConcGuard(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScope(pass, fd.Name.Name, fd.Body)
+			// Nested literals are their own spawning scopes.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkScope(pass, fd.Name.Name+" (func literal)", lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkScope verifies every go statement directly inside body (not in
+// nested literals) against the join evidence of the same body.
+func checkScope(pass *Pass, name string, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var spawns []*ast.GoStmt
+	joined := make(map[types.Object]bool) // WaitGroups Waited, channels received
+
+	walkScope(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			spawns = append(spawns, n)
+		case *ast.CallExpr:
+			if recv, ok := waitGroupMethod(info, n, "Wait"); ok {
+				if obj := rootObj(info, recv); obj != nil {
+					joined[obj] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := rootObj(info, n.X); obj != nil {
+					joined[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(n.X).Underlying().(*types.Chan); ok {
+				if obj := rootObj(info, n.X); obj != nil {
+					joined[obj] = true
+				}
+			}
+		}
+	})
+
+	for _, g := range spawns {
+		signals := spawnSignals(info, g)
+		if len(signals) == 0 {
+			pass.Reportf(g.Pos(),
+				"goroutine in %s has no completion signal (WaitGroup Done or channel send/close); the spawner cannot join it", name)
+			continue
+		}
+		ok := false
+		for _, obj := range signals {
+			if joined[obj] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(g.Pos(),
+				"goroutine in %s is not joined before the scope returns; Wait on its WaitGroup or receive from its channel in this scope", name)
+		}
+	}
+}
+
+// walkScope visits body without descending into nested function
+// literals (which are separate spawning scopes).
+func walkScope(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// spawnSignals returns the objects through which the spawned goroutine
+// can signal completion: WaitGroups it calls Done on, channels it sends
+// on or closes (anywhere in its body, including deferred literals), and
+// — for go calls to named functions — WaitGroup/channel arguments.
+func spawnSignals(info *types.Info, g *ast.GoStmt) []types.Object {
+	var sigs []types.Object
+	add := func(obj types.Object) {
+		if obj != nil {
+			sigs = append(sigs, obj)
+		}
+	}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		// Full descent: a send inside `defer func(){ done <- r }()`
+		// still runs within the goroutine's lifetime.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				add(rootObj(info, n.Chan))
+			case *ast.CallExpr:
+				if recv, ok := waitGroupMethod(info, n, "Done"); ok {
+					add(rootObj(info, recv))
+				}
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+						add(rootObj(info, n.Args[0]))
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Arguments of the go call itself: `go worker(jobs, &wg)` hands the
+	// callee its signaling capability.
+	for _, arg := range g.Call.Args {
+		t := info.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if _, ok := t.Underlying().(*types.Chan); ok {
+			add(rootObj(info, arg))
+			continue
+		}
+		if path, tname, ok := namedType(t); ok && path == "sync" && tname == "WaitGroup" {
+			add(rootObj(info, arg))
+		}
+	}
+	return sigs
+}
+
+// waitGroupMethod reports whether call is recv.<name>() on a
+// sync.WaitGroup, returning the receiver expression.
+func waitGroupMethod(info *types.Info, call *ast.CallExpr, name string) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	if path, tname, ok := namedType(sig.Recv().Type()); !ok || path != "sync" || tname != "WaitGroup" {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// rootObj resolves an expression to the object that identifies its
+// storage: the variable for identifiers (through & and parens), the
+// field object for selector chains. Distinct instances sharing a field
+// are conflated deliberately — join evidence is matched structurally.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok {
+				return sel.Obj()
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

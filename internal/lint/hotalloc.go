@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -28,6 +30,11 @@ var hotAllocPaths = []string{
 // escape analyzer: a finding on a genuinely cold line inside a hot
 // function (panic formatting, error paths) is justified with
 // `//lint:allow hotalloc <reason>` rather than restructured.
+//
+// HotAlloc is retired from the default roster: hotcall reports the same
+// leaf findings and additionally follows calls through the fact store,
+// so it strictly supersedes this analyzer (proven by test). The
+// definition stays as the leaf-case reference and fixture anchor.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc: `keep //hot functions allocation-free
@@ -37,15 +44,17 @@ per-event dispatch path. Closure literals and non-pointer value-to-
 interface conversions inside them allocate on every call; hoist captured
 state into a pre-bound handler struct, or pass pointers. Cold lines
 inside hot functions (panic messages) carry a justified //lint:allow.`,
-	AppliesTo: func(path string) bool {
-		for _, p := range hotAllocPaths {
-			if path == p || strings.HasPrefix(path, p+"/") {
-				return true
-			}
+	AppliesTo: isHotPathPackage,
+	Run:       runHotAlloc,
+}
+
+func isHotPathPackage(path string) bool {
+	for _, p := range hotAllocPaths {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
 		}
-		return false
-	},
-	Run: runHotAlloc,
+	}
+	return false
 }
 
 func runHotAlloc(pass *Pass) error {
@@ -55,7 +64,7 @@ func runHotAlloc(pass *Pass) error {
 			if !ok || fd.Body == nil || !hotMarked(fd) {
 				continue
 			}
-			checkHotBody(pass, fd)
+			reportAllocSites(pass, fd)
 		}
 	}
 	return nil
@@ -75,37 +84,88 @@ func hotMarked(fd *ast.FuncDecl) bool {
 	return false
 }
 
-func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+// reportAllocSites emits the leaf allocation findings for one //hot
+// function; shared by hotalloc (whose whole job this is) and hotcall
+// (which layers call-graph propagation on top).
+func reportAllocSites(pass *Pass, fd *ast.FuncDecl) {
 	name := fd.Name.Name
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	forEachAllocSite(pass.TypesInfo, fd.Body, func(s allocSite) {
+		switch s.kind {
+		case allocClosure:
+			pass.Reportf(s.pos,
+				"closure literal in //hot function %s allocates its capture environment per call; hoist state into a pre-bound handler struct", name)
+		case allocConvert:
+			pass.Reportf(s.pos,
+				"%s in //hot function %s boxes the value per call", s.detail, name)
+		case allocArg:
+			pass.Reportf(s.pos,
+				"%s passed to interface parameter in //hot function %s boxes per call; pass a pointer or pre-bind the handler", s.detail, name)
+		}
+	})
+}
+
+// An allocSite is one per-call allocation the discipline bans: a closure
+// literal, an explicit conversion to an interface, or a value argument
+// boxed into an interface parameter.
+type allocKind int
+
+const (
+	allocClosure allocKind = iota
+	allocConvert
+	allocArg
+)
+
+type allocSite struct {
+	pos    token.Pos
+	kind   allocKind
+	detail string // type description for the box kinds, "" for closures
+}
+
+func (s allocSite) describe(fset *token.FileSet) string {
+	p := fset.Position(s.pos)
+	loc := fmt.Sprintf("%s:%d", shortFile(p.Filename), p.Line)
+	if s.kind == allocClosure {
+		return "closure literal at " + loc
+	}
+	return "interface boxing at " + loc
+}
+
+// forEachAllocSite enumerates the banned allocation shapes in body, in
+// source order. It does not descend into nested function literals: the
+// literal itself is the allocation, and its body runs as a different
+// function.
+func forEachAllocSite(info *types.Info, body ast.Node, report func(allocSite)) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			pass.Reportf(n.Pos(),
-				"closure literal in //hot function %s allocates its capture environment per call; hoist state into a pre-bound handler struct", name)
-			return false // the literal's own body is a different function
+			report(allocSite{pos: n.Pos(), kind: allocClosure})
+			return false
 		case *ast.CallExpr:
-			checkHotCall(pass, name, n)
+			callAllocSites(info, n, report)
 		}
 		return true
 	})
 }
 
-// checkHotCall flags interface boxing at a call: an explicit conversion
-// to an interface type, or a concrete non-pointer argument passed to an
-// interface-typed parameter (including the variadic ...any of the fmt
-// functions).
-func checkHotCall(pass *Pass, fnName string, call *ast.CallExpr) {
-	if target, ok := isConversion(pass.TypesInfo, call); ok {
+// callAllocSites flags interface boxing at a call: an explicit
+// conversion to an interface type, or a concrete non-pointer argument
+// passed to an interface-typed parameter (including the variadic ...any
+// of the fmt functions).
+func callAllocSites(info *types.Info, call *ast.CallExpr, report func(allocSite)) {
+	if target, ok := isConversion(info, call); ok {
 		if !types.IsInterface(target.Underlying()) {
 			return
 		}
-		if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && boxes(tv.Type) && tv.Value == nil {
-			pass.Reportf(call.Pos(),
-				"conversion of %s to interface %s in //hot function %s boxes the value per call", tv.Type, target, fnName)
+		if tv, ok := info.Types[call.Args[0]]; ok && boxes(tv.Type) && tv.Value == nil {
+			report(allocSite{
+				pos:    call.Pos(),
+				kind:   allocConvert,
+				detail: fmt.Sprintf("conversion of %s to interface %s", tv.Type, target),
+			})
 		}
 		return
 	}
-	tv, ok := pass.TypesInfo.Types[call.Fun]
+	tv, ok := info.Types[call.Fun]
 	if !ok {
 		return // builtins (append, panic) have no signature here
 	}
@@ -130,21 +190,24 @@ func checkHotCall(pass *Pass, fnName string, call *ast.CallExpr) {
 		if !types.IsInterface(pt.Underlying()) {
 			continue
 		}
-		atv, ok := pass.TypesInfo.Types[arg]
+		atv, ok := info.Types[arg]
 		if !ok || !boxes(atv.Type) {
 			continue
 		}
 		if atv.Value != nil {
 			continue // constants box into static interface data, no allocation
 		}
-		pass.Reportf(arg.Pos(),
-			"value of type %s passed to interface parameter in //hot function %s boxes per call; pass a pointer or pre-bind the handler", atv.Type, fnName)
+		report(allocSite{
+			pos:    arg.Pos(),
+			kind:   allocArg,
+			detail: fmt.Sprintf("value of type %s", atv.Type),
+		})
 	}
 }
 
 // boxes reports whether converting a value of type t to an interface
 // allocates. Interface values hold one word directly, so pointer-shaped
-// types (pointers, maps, channels, funcs) and nil convert for free;
+// types (pointers, maps, chans, funcs) and nil convert for free;
 // everything else is copied to the heap.
 func boxes(t types.Type) bool {
 	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {

@@ -1,10 +1,12 @@
-// Package lint is mltcp's static-analysis suite: five analyzers that
+// Package lint is mltcp's static-analysis suite: seven analyzers that
 // enforce the invariants the simulator's tests can only spot-check —
 // determinism (no wall clock, no global randomness, no map-order leaks),
 // unit discipline (integer-nanosecond time never silently mixed with
 // float seconds), telemetry emission hygiene (nil-receiver-safe
-// recorders, integer-ns timestamps), registry-sourced CLI names, and an
-// allocation-free discipline for //hot-marked event-path functions.
+// recorders, integer-ns timestamps), registry-sourced CLI names,
+// seed-provenance taint (seedflow), a transitive allocation-free
+// discipline for //hot-marked event-path functions (hotcall), and
+// goroutine-lifecycle joining (concguard).
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis —
 // Analyzer, Pass, Diagnostic — but is built on the standard library
@@ -12,6 +14,12 @@
 // with go/types against compiler export data, and driven either
 // standalone (cmd/mltcp-lint ./...) or as a `go vet -vettool`
 // unitchecker (see vettool.go).
+//
+// Since PR 9 the suite is interprocedural: Summarize computes per-
+// function facts (facts.go) bottom-up over each package's call graph,
+// and analyzers read them through Pass.Facts. The standalone driver
+// accumulates facts in memory across `go list -deps` order; the vettool
+// driver serializes them through vet's vetx facts channel.
 //
 // Findings are suppressed with a justified marker on the offending line
 // or the line above:
@@ -51,6 +59,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts holds the function facts visible to this package: its own
+	// (Summarize runs before analysis) plus everything merged from its
+	// dependencies. Never nil in driver-constructed passes; FactStore's
+	// methods are nil-safe regardless.
+	Facts *FactStore
 
 	report func(Diagnostic)
 }
@@ -119,13 +132,28 @@ func suppressions(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []
 	return allowed, malformed
 }
 
-// Analyze runs the analyzers over one type-checked package and returns
-// the surviving findings: scope-filtered by AppliesTo, with _test.go
-// positions dropped (the invariants govern simulation code, not its
-// tests) and //lint:allow suppressions applied. The result is sorted by
-// position so output is deterministic regardless of analyzer order.
+// Analyze runs the analyzers over one type-checked package with an
+// empty fact store: the legacy single-package entry point, kept for
+// callers that exercise only intraprocedural rules.
 func Analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 	info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return AnalyzeFacts(fset, files, pkg, info, analyzers, NewFactStore())
+}
+
+// AnalyzeFacts runs the analyzers over one type-checked package and
+// returns the surviving findings: scope-filtered by AppliesTo, with
+// _test.go positions dropped (the invariants govern simulation code,
+// not its tests) and //lint:allow suppressions applied. Facts for the
+// package and its dependencies are read from store (the driver runs
+// Summarize first). The result is sorted by position so output is
+// deterministic regardless of analyzer order.
+//
+// Suppressions are part of the audit trail, so they are themselves
+// checked: a marker naming an analyzer nobody knows, or one in the run
+// set that suppresses nothing (neither a diagnostic nor a fact-bearing
+// site), is reported under the "lint" analyzer.
+func AnalyzeFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
 
 	path := pkg.Path()
 	// go vet presents test variants as "path [path.test]"; scope
@@ -134,17 +162,20 @@ func Analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 		path = path[:i]
 	}
 
+	ran := make(map[string]bool)
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		if a.AppliesTo != nil && !a.AppliesTo(path) {
 			continue
 		}
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Facts:     store,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
@@ -153,16 +184,20 @@ func Analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 	}
 
 	allowed, malformed := suppressions(fset, files)
+	used := make(map[allowKey]bool)
 	kept := malformed
 	for _, d := range diags {
 		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
 			continue
 		}
-		if allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+		k := allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}
+		if allowed[k] {
+			used[k] = true
 			continue
 		}
 		kept = append(kept, d)
 	}
+	kept = append(kept, auditAllows(fset, files, info, ran, used)...)
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -179,9 +214,119 @@ func Analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 	return kept, nil
 }
 
-// Analyzers returns the full suite in presentation order.
+// Analyzers returns the default suite in presentation order. HotAlloc
+// is retired: hotcall subsumes its leaf findings and adds call-graph
+// propagation.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SimDeterminism, SimUnits, TelemetryEmit, RegistryName, HotAlloc}
+	return []*Analyzer{SimDeterminism, SimUnits, TelemetryEmit, RegistryName, SeedFlow, HotCall, ConcGuard}
+}
+
+// knownAnalyzerNames are every name //lint:allow may legitimately cite:
+// the default roster, the retired-but-referenceable hotalloc, and the
+// framework's own "lint" channel.
+func knownAnalyzerNames() map[string]bool {
+	names := map[string]bool{"lint": true, HotAlloc.Name: true}
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// auditAllows checks the package's well-formed //lint:allow markers:
+// unknown analyzer names are findings, and markers for analyzers that
+// ran here but suppressed nothing — no diagnostic, and no fact-bearing
+// site on the covered lines — are stale findings.
+func auditAllows(fset *token.FileSet, files []*ast.File, info *types.Info,
+	ran map[string]bool, used map[allowKey]bool) []Diagnostic {
+
+	known := knownAnalyzerNames()
+	var out []Diagnostic
+	for _, f := range files {
+		fileName := fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(fileName, "_test.go") {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, AllowPrefix))
+				if len(fields) < 2 {
+					continue // already reported as malformed
+				}
+				name := fields[0]
+				pos := fset.Position(c.Pos())
+				if !known[name] {
+					out = append(out, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  fmt.Sprintf("%s names unknown analyzer %q", AllowPrefix, name),
+					})
+					continue
+				}
+				if !ran[name] {
+					continue // scoped out here; cannot judge staleness
+				}
+				usedHere := used[allowKey{pos.Filename, pos.Line, name}] ||
+					used[allowKey{pos.Filename, pos.Line + 1, name}]
+				if !usedHere && !factSuppressionAt(fset, f, info, name, pos.Line) {
+					out = append(out, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  fmt.Sprintf("stale %s %s: nothing suppressed on this line or the next", AllowPrefix, name),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// factSuppressionAt reports whether a //lint:allow on the given line
+// suppresses a fact instead of a diagnostic: an allocation site (for
+// hotcall/hotalloc, which may sit in a non-//hot function and so never
+// produce a local finding, while still killing FactAllocates) or a
+// wall-clock read (for simdeterminism, killing FactUsesWallClock).
+// Such markers are load-bearing even when no diagnostic consumed them.
+func factSuppressionAt(fset *token.FileSet, file *ast.File, info *types.Info,
+	name string, line int) bool {
+
+	covers := func(pos token.Pos) bool {
+		l := fset.Position(pos).Line
+		return l == line || l == line+1
+	}
+	found := false
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		switch name {
+		case HotCall.Name, HotAlloc.Name:
+			forEachAllocSite(info, fd.Body, func(s allocSite) {
+				if covers(s.pos) {
+					found = true
+				}
+			})
+		case SimDeterminism.Name:
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn, ok := isPkgFunc(info, call, "time"); ok &&
+					(fn == "Now" || fn == "Since") && covers(call.Pos()) {
+					found = true
+				}
+				return true
+			})
+		}
+		if found {
+			return true
+		}
+	}
+	return found
 }
 
 // --- shared type/AST helpers used by the analyzers ---

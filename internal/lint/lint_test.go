@@ -1,6 +1,9 @@
 package lint_test
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -47,6 +50,94 @@ func TestHotAllocFixture(t *testing.T) {
 		"testdata/hotalloc/fixture.go")
 }
 
+// The interprocedural fixtures are multi-package: earlier fixture
+// packages are summarized into the shared fact store and imported by the
+// later ones, so every finding below a package boundary is reached
+// through facts alone.
+
+func TestSeedFlowFixture(t *testing.T) {
+	linttest.RunPkgs(t, lint.SeedFlow,
+		linttest.PkgFixture{Path: "mltcp/internal/sim", Files: []string{"testdata/seedflow/sim.go"}},
+		linttest.PkgFixture{Path: "mltcp/internal/lint/seedlib", Files: []string{"testdata/seedflow/seedlib.go"}},
+		linttest.PkgFixture{Path: "mltcp/internal/user", Files: []string{"testdata/seedflow/user.go"}},
+	)
+}
+
+func TestHotCallFixture(t *testing.T) {
+	linttest.RunPkgs(t, lint.HotCall,
+		linttest.PkgFixture{Path: "mltcp/internal/lint/helper", Files: []string{"testdata/hotcall/helper.go"}},
+		linttest.PkgFixture{Path: "mltcp/internal/sim", Files: []string{"testdata/hotcall/fixture.go"}},
+	)
+}
+
+func TestConcGuardFixture(t *testing.T) {
+	linttest.Run(t, lint.ConcGuard, "mltcp/internal/fixture",
+		"testdata/concguard/fixture.go")
+}
+
+// TestClockFactFixture exercises simdeterminism's interprocedural half:
+// the consumer package never imports time, so its finding can only come
+// from the FactUsesWallClock record the helper package published.
+func TestClockFactFixture(t *testing.T) {
+	linttest.RunPkgs(t, lint.SimDeterminism,
+		linttest.PkgFixture{Path: "mltcp/internal/lint/clockdep", Files: []string{"testdata/clockfact/clockdep.go"}},
+		linttest.PkgFixture{Path: "mltcp/internal/lint/consumer", Files: []string{"testdata/clockfact/consumer.go"}},
+	)
+}
+
+// TestHotCallSupersetOfHotAlloc pins the retirement contract: over the
+// retired analyzer's own fixture, hotcall must report every finding
+// hotalloc reports — same position, same message — so dropping hotalloc
+// from the roster loses nothing.
+func TestHotCallSupersetOfHotAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads export data via go list")
+	}
+	exp, err := lint.Exports("", "fmt")
+	if err != nil {
+		t.Fatalf("loading export data: %v", err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "testdata/hotalloc/fixture.go", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	files := []*ast.File{f}
+	pkg, info, soft, err := lint.Check(fset, lint.ExportImporter(fset, exp), "mltcp/internal/sim", files)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	if len(soft) > 0 {
+		t.Fatalf("fixture type errors: %v", soft)
+	}
+	store := lint.NewFactStore()
+	lint.Summarize(fset, files, pkg, info, store)
+
+	run := func(a *lint.Analyzer) map[string]bool {
+		diags, err := lint.AnalyzeFacts(fset, files, pkg, info, []*lint.Analyzer{a}, store)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		set := make(map[string]bool)
+		for _, d := range diags {
+			if d.Analyzer == a.Name {
+				set[d.Pos.String()+": "+d.Message] = true
+			}
+		}
+		return set
+	}
+	old := run(lint.HotAlloc)
+	now := run(lint.HotCall)
+	if len(old) == 0 {
+		t.Fatal("hotalloc reported nothing on its own fixture; superset check is vacuous")
+	}
+	for finding := range old {
+		if !now[finding] {
+			t.Errorf("hotalloc finding missing from hotcall: %s", finding)
+		}
+	}
+}
+
 // TestScoping pins each analyzer's package-path scope: simulation rules
 // stay out of cmd/*, the conversion-defining packages stay exempt, and
 // registry-name checks never fire inside internal/*.
@@ -69,10 +160,20 @@ func TestScoping(t *testing.T) {
 		{lint.HotAlloc, "mltcp/internal/netsim", true},
 		{lint.HotAlloc, "mltcp/internal/tcp", false},
 		{lint.HotAlloc, "mltcp/internal/backend", false},
+		{lint.HotCall, "mltcp/internal/sim", true},
+		{lint.HotCall, "mltcp/internal/netsim", true},
+		{lint.HotCall, "mltcp/internal/backend", false},
 	}
 	for _, c := range cases {
 		if got := c.a.AppliesTo(c.path); got != c.want {
 			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.a.Name, c.path, got, c.want)
+		}
+	}
+	// seedflow and concguard guard whole-repo invariants (seed hygiene,
+	// goroutine joining), so they scope to every package.
+	for _, a := range []*lint.Analyzer{lint.SeedFlow, lint.ConcGuard} {
+		if a.AppliesTo != nil {
+			t.Errorf("%s.AppliesTo should be nil (every package)", a.Name)
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"regexp"
 	"strconv"
@@ -49,9 +50,30 @@ func depExports() (map[string]string, error) {
 // Run type-checks the fixture files as one package under pkgPath (so the
 // analyzer's AppliesTo scoping sees the path the fixture impersonates),
 // runs exactly the given analyzer through the full pipeline —
-// suppressions included — and matches the resulting diagnostics against
-// the fixtures' `// want "regexp"` expectations.
+// fact summarization and suppressions included — and matches the
+// resulting diagnostics against the fixtures' `// want "regexp"`
+// expectations.
 func Run(t *testing.T, a *lint.Analyzer, pkgPath string, fixtures ...string) {
+	t.Helper()
+	RunPkgs(t, a, PkgFixture{Path: pkgPath, Files: fixtures})
+}
+
+// A PkgFixture is one fixture package for RunPkgs: the import path it
+// impersonates and its source files.
+type PkgFixture struct {
+	Path  string
+	Files []string
+}
+
+// RunPkgs runs the analyzer over a chain of fixture packages, in order.
+// Earlier packages are importable by later ones under their fixture
+// paths (shadowing real export data, so a fixture can impersonate
+// mltcp/internal/sim and be imported by a second fixture package), and
+// each package is summarized into a shared fact store before the next
+// is checked — exactly the standalone driver's dependency-order
+// pipeline. Diagnostics from every package are matched against `// want`
+// expectations across all files.
+func RunPkgs(t *testing.T, a *lint.Analyzer, pkgs ...PkgFixture) {
 	t.Helper()
 	exp, err := depExports()
 	if err != nil {
@@ -59,39 +81,50 @@ func Run(t *testing.T, a *lint.Analyzer, pkgPath string, fixtures ...string) {
 	}
 
 	fset := token.NewFileSet()
-	var files []*ast.File
+	imp := &chainImporter{
+		mem:      make(map[string]*types.Package),
+		fallback: lint.ExportImporter(fset, exp),
+	}
+	store := lint.NewFactStore()
 	wants := make(map[token.Position][]*expectation) // keyed by file:line via Position{Filename,Line}
-	for _, name := range fixtures {
-		src, err := os.ReadFile(name)
-		if err != nil {
-			t.Fatalf("reading fixture: %v", err)
+	var diags []lint.Diagnostic
+	for _, p := range pkgs {
+		var files []*ast.File
+		for _, name := range p.Files {
+			src, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing fixture %s: %v", name, err)
+			}
+			files = append(files, f)
+			for line, exps := range parseWants(t, name, string(src)) {
+				wants[token.Position{Filename: name, Line: line}] = exps
+			}
 		}
-		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
-		if err != nil {
-			t.Fatalf("parsing fixture %s: %v", name, err)
-		}
-		files = append(files, f)
-		for line, exps := range parseWants(t, name, string(src)) {
-			wants[token.Position{Filename: name, Line: line}] = exps
-		}
-	}
 
-	pkg, info, soft, err := lint.Check(fset, lint.ExportImporter(fset, exp), pkgPath, files)
-	if err != nil {
-		t.Fatalf("type-checking fixtures: %v", err)
-	}
-	// A fixture with type errors silently produces no findings, which
-	// would let a broken fixture masquerade as a passing test.
-	for _, e := range soft {
-		t.Errorf("fixture type error: %v", e)
-	}
-	if t.Failed() {
-		t.FailNow()
-	}
+		pkg, info, soft, err := lint.Check(fset, imp, p.Path, files)
+		if err != nil {
+			t.Fatalf("type-checking fixtures: %v", err)
+		}
+		// A fixture with type errors silently produces no findings,
+		// which would let a broken fixture masquerade as a passing test.
+		for _, e := range soft {
+			t.Errorf("fixture type error: %v", e)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+		imp.mem[p.Path] = pkg
 
-	diags, err := lint.Analyze(fset, files, pkg, info, []*lint.Analyzer{a})
-	if err != nil {
-		t.Fatalf("analysis: %v", err)
+		lint.Summarize(fset, files, pkg, info, store)
+		ds, err := lint.AnalyzeFacts(fset, files, pkg, info, []*lint.Analyzer{a}, store)
+		if err != nil {
+			t.Fatalf("analysis: %v", err)
+		}
+		diags = append(diags, ds...)
 	}
 
 	for _, d := range diags {
@@ -107,6 +140,21 @@ func Run(t *testing.T, a *lint.Analyzer, pkgPath string, fixtures ...string) {
 			}
 		}
 	}
+}
+
+// chainImporter resolves fixture package paths from memory first, then
+// falls back to real export data; in-memory entries shadow the
+// repository's packages so fixtures can impersonate module paths.
+type chainImporter struct {
+	mem      map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.mem[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
 }
 
 type expectation struct {

@@ -19,15 +19,19 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
-// A Package is one loaded, type-checked target package.
+// A Package is one loaded, type-checked package.
 type Package struct {
 	Path  string
 	Dir   string
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// DepOnly marks a module package loaded only because a target
+	// depends on it: it is summarized for facts but not analyzed.
+	DepOnly bool
 	// TypeErrors holds soft type-check failures. Analysis still runs on
 	// whatever was resolved; the driver surfaces these separately.
 	TypeErrors []error
@@ -45,8 +49,10 @@ type listedPackage struct {
 }
 
 // list runs `go list -export -deps` over patterns, returning the
-// non-dependency target packages and the export-data index for the whole
-// dependency closure.
+// target packages plus every module package in their dependency closure
+// (in go list's dependencies-first order, which lets the driver
+// summarize facts before their consumers), and the export-data index
+// for the whole closure.
 func list(dir string, patterns []string) ([]listedPackage, map[string]string, error) {
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
@@ -74,8 +80,11 @@ func list(dir string, patterns []string) ([]listedPackage, map[string]string, er
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if p.DepOnly || len(p.GoFiles) == 0 {
+		if len(p.GoFiles) == 0 {
 			continue
+		}
+		if p.DepOnly && !modulePath(p.ImportPath) {
+			continue // facts are only computed for module packages
 		}
 		if p.Error != nil {
 			return nil, nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
@@ -125,6 +134,7 @@ func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
 			Files:      files,
 			Types:      pkg,
 			Info:       info,
+			DepOnly:    t.DepOnly,
 			TypeErrors: softErrs,
 		})
 	}
@@ -165,16 +175,32 @@ func Check(fset *token.FileSet, imp types.Importer, path string, files []*ast.Fi
 	return pkg, info, soft, nil
 }
 
+// modulePath reports whether an import path belongs to this module.
+func modulePath(path string) bool {
+	return path == "mltcp" || strings.HasPrefix(path, "mltcp/")
+}
+
 // Run loads the packages matching patterns and applies the analyzers,
-// returning every surviving diagnostic across all packages.
+// returning every surviving diagnostic across all packages. Because
+// Load yields the module dependency closure in dependencies-first
+// order, each package is summarized into a shared in-memory fact store
+// before any of its dependents is analyzed — the standalone equivalent
+// of the vetx fact files `go vet` threads between vettool invocations.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	fset, pkgs, err := Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
+	store := NewFactStore()
 	var all []Diagnostic
 	for _, p := range pkgs {
-		diags, err := Analyze(fset, p.Files, p.Types, p.Info, analyzers)
+		if modulePath(p.Path) {
+			Summarize(fset, p.Files, p.Types, p.Info, store)
+		}
+		if p.DepOnly {
+			continue
+		}
+		diags, err := AnalyzeFacts(fset, p.Files, p.Types, p.Info, analyzers, store)
 		if err != nil {
 			return nil, err
 		}

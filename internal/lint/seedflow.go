@@ -1,0 +1,393 @@
+// SeedFlow: seed-provenance taint analysis. Byte-identical replay
+// requires every RNG stream in the simulator to be rooted in the run's
+// seed tree (sim.DeriveSeed / sim.NewRNGAt); an RNG seeded from a bare
+// literal, a loop counter, or the wall clock replays differently — or
+// worse, identically across points that must differ. The classifier
+// here is shared with Summarize, which uses it to publish two fact
+// kinds: FactDerivesSeed for functions whose integer result is always
+// derivation-rooted, and SeedParams for functions that feed a parameter
+// into an RNG seed (turning the local obligation into one on every
+// caller, across packages).
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeedFlow reports RNG constructions whose seed material is not
+// derivation-rooted, and RNG values escaping into goroutines or
+// package-level state (an RNG stream has exactly one owner; sharing it
+// makes draw order depend on scheduling).
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc: `root every RNG in the derived-seed tree, keep streams single-owner
+
+Seeds reaching sim.NewRNG (or math/rand sources) must be rooted in
+sim.DeriveSeed/sim.NewRNGAt output, a *Seed* field, a seed parameter
+(which propagates the obligation to callers via function facts), or
+another RNG's output. RNG values must not be captured by goroutine
+closures, passed into goroutines or goroutine-spawning functions, or
+stored in package-level state.`,
+	Run: runSeedFlow,
+}
+
+// seedClass is the classifier verdict for one expression: ok means the
+// value is derivation-rooted; params lists the enclosing function's
+// parameter indices the rooting depends on (empty when unconditional).
+type seedClass struct {
+	ok     bool
+	params []int
+}
+
+// seedScope classifies expressions inside one function: it knows the
+// function's seed-capable parameters and the local variables assigned
+// from derived material.
+type seedScope struct {
+	info    *types.Info
+	lookup  func(*types.Func) FuncFact
+	params  map[types.Object]int
+	derived map[types.Object]seedClass
+}
+
+// newSeedScope builds the scope for fd (nil fd gives the empty scope
+// used for package-level initializers). Local single-assignments are
+// classified once, in source order, so `s := sim.DeriveSeed(base, i)`
+// makes s derived for the rest of the body.
+func newSeedScope(info *types.Info, lookup func(*types.Func) FuncFact, fd *ast.FuncDecl) *seedScope {
+	sc := &seedScope{
+		info:    info,
+		lookup:  lookup,
+		params:  make(map[types.Object]int),
+		derived: make(map[types.Object]seedClass),
+	}
+	if fd == nil {
+		return sc
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					sc.derived[obj] = seedClass{ok: true}
+				}
+			}
+		}
+	}
+	idx := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					sc.params[obj] = idx
+				}
+				idx++
+			}
+		}
+	}
+	if fd.Body != nil {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj != nil {
+						sc.derived[obj] = sc.classify(n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i, id := range n.Names {
+					if id.Name == "_" {
+						continue
+					}
+					if obj := info.Defs[id]; obj != nil {
+						sc.derived[obj] = sc.classify(n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return sc
+}
+
+// classify decides whether e is derivation-rooted seed material.
+func (sc *seedScope) classify(e ast.Expr) seedClass {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if _, ok := isConversion(sc.info, e); ok && len(e.Args) == 1 {
+			return sc.classify(e.Args[0])
+		}
+		f := funcObj(sc.info, e)
+		if f == nil {
+			return seedClass{}
+		}
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			// An RNG stream's own output is derived by definition
+			// (rng.Uint64() feeding a child seed).
+			if isRNGType(sig.Recv().Type()) {
+				return seedClass{ok: true}
+			}
+			return seedClass{}
+		}
+		if f.Pkg() != nil && f.Pkg().Path() == "mltcp/internal/sim" {
+			switch f.Name() {
+			case "DeriveSeed", "NewRNGAt":
+				return seedClass{ok: true}
+			}
+		}
+		if moduleFunc(f) && sc.lookup != nil && sc.lookup(f).Flags.Has(FactDerivesSeed) {
+			return seedClass{ok: true}
+		}
+		return seedClass{}
+	case *ast.Ident:
+		obj := sc.info.Uses[e]
+		if obj == nil {
+			return seedClass{}
+		}
+		if idx, ok := sc.params[obj]; ok {
+			return seedClass{ok: true, params: []int{idx}}
+		}
+		// A variable or constant explicitly named *seed* is a declared
+		// root of the seed tree, same as a *Seed* field: the name is
+		// the reviewable declaration of intent.
+		if strings.Contains(strings.ToLower(e.Name), "seed") {
+			return seedClass{ok: true}
+		}
+		if c, ok := sc.derived[obj]; ok {
+			return c
+		}
+		return seedClass{}
+	case *ast.SelectorExpr:
+		// Named seed storage (Point.Seed, JobSpec.Seed, cfg.BaseSeed):
+		// filling such a field is where derivation is enforced, so
+		// reading one back is sanctioned.
+		if strings.Contains(strings.ToLower(e.Sel.Name), "seed") {
+			return seedClass{ok: true}
+		}
+		return seedClass{}
+	case *ast.BinaryExpr:
+		// Mixing a derived value with anything (XOR a constant, add an
+		// index) keeps it derived.
+		l, r := sc.classify(e.X), sc.classify(e.Y)
+		if !l.ok && !r.ok {
+			return seedClass{}
+		}
+		c := seedClass{ok: true}
+		c.params = append(c.params, l.params...)
+		c.params = append(c.params, r.params...)
+		return c
+	case *ast.UnaryExpr:
+		return sc.classify(e.X)
+	}
+	return seedClass{}
+}
+
+// rngConstruction reports whether call builds an RNG or Source from raw
+// seed material, returning a display name and the seed arguments to
+// classify. sim.NewRNGAt and sim.DeriveSeed are not listed: they ARE
+// the sanctioned derivation API.
+func rngConstruction(info *types.Info, call *ast.CallExpr) (string, []ast.Expr) {
+	f := funcObj(info, call)
+	if f == nil || f.Pkg() == nil {
+		return "", nil
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", nil
+	}
+	switch f.Pkg().Path() {
+	case "mltcp/internal/sim":
+		if f.Name() == "NewRNG" && len(call.Args) == 1 {
+			return "sim.NewRNG", call.Args[:1]
+		}
+	case "math/rand":
+		if f.Name() == "NewSource" && len(call.Args) == 1 {
+			return "rand.NewSource", call.Args[:1]
+		}
+	case "math/rand/v2":
+		switch f.Name() {
+		case "NewPCG":
+			if len(call.Args) == 2 {
+				return "rand.NewPCG", call.Args[:2]
+			}
+		case "NewChaCha8":
+			if len(call.Args) == 1 {
+				return "rand.NewChaCha8", call.Args[:1]
+			}
+		}
+	}
+	return "", nil
+}
+
+// isRNGType reports whether t is (a pointer to) one of the RNG stream
+// types the single-owner rule covers.
+func isRNGType(t types.Type) bool {
+	path, name, ok := namedType(t)
+	if !ok {
+		return false
+	}
+	switch path {
+	case "mltcp/internal/sim":
+		return name == "RNG"
+	case "math/rand":
+		return name == "Rand" || name == "Source" || name == "Zipf"
+	case "math/rand/v2":
+		return name == "Rand" || name == "Source" || name == "PCG" ||
+			name == "ChaCha8" || name == "Zipf"
+	}
+	return false
+}
+
+func runSeedFlow(pass *Pass) error {
+	lookup := func(f *types.Func) FuncFact { return pass.Facts.Lookup(f) }
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				sc := newSeedScope(pass.TypesInfo, lookup, d)
+				seedFlowWalk(pass, sc, d.Body)
+			case *ast.GenDecl:
+				sc := newSeedScope(pass.TypesInfo, lookup, nil)
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, v := range vs.Values {
+						seedFlowWalk(pass, sc, v)
+						if i < len(vs.Names) && isRNGType(pass.TypesInfo.TypeOf(v)) {
+							pass.Reportf(vs.Names[i].Pos(),
+								"RNG stored in package-level variable %s; streams are single-owner — construct one per scope from a derived seed", vs.Names[i].Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// seedFlowWalk checks one function body (or initializer expression).
+func seedFlowWalk(pass *Pass, sc *seedScope, root ast.Node) {
+	info := pass.TypesInfo
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, seeds := rngConstruction(info, n); name != "" {
+				for _, arg := range seeds {
+					if !sc.classify(arg).ok {
+						pass.Reportf(arg.Pos(),
+							"seed for %s is not derived; root it in sim.DeriveSeed/sim.NewRNGAt, a *Seed* field, or a seed parameter so replays stay byte-identical", name)
+					}
+				}
+			}
+			if f := funcObj(info, n); f != nil && moduleFunc(f) {
+				fact := pass.Facts.Lookup(f)
+				for _, idx := range fact.SeedParams {
+					if idx < len(n.Args) && !sc.classify(n.Args[idx]).ok {
+						pass.Reportf(n.Args[idx].Pos(),
+							"argument %d of %s seeds an RNG but is not derived; pass sim.DeriveSeed output or thread a seed parameter", idx, shortFuncName(f))
+					}
+				}
+				if fact.Flags.Has(FactSpawnsGoroutine) {
+					for _, arg := range n.Args {
+						if isRNGType(info.TypeOf(arg)) {
+							pass.Reportf(arg.Pos(),
+								"RNG passed to %s, which spawns goroutines (%s); streams are single-owner — pass a derived seed instead", shortFuncName(f), fact.SpawnWhy)
+						}
+					}
+				}
+			}
+		case *ast.GoStmt:
+			checkGoRNG(pass, n)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					break
+				}
+				if !isPackageLevelRef(info, pass.Pkg, lhs) {
+					continue
+				}
+				if isRNGType(info.TypeOf(lhs)) {
+					pass.Reportf(lhs.Pos(),
+						"RNG stored in package-level state; streams are single-owner — construct one per scope from a derived seed")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkGoRNG flags RNG values crossing into a spawned goroutine, either
+// as call arguments or captured by the closure literal.
+func checkGoRNG(pass *Pass, g *ast.GoStmt) {
+	info := pass.TypesInfo
+	for _, arg := range g.Call.Args {
+		if isRNGType(info.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(),
+				"RNG passed into a goroutine; streams are single-owner — pass a derived seed and construct the RNG inside")
+		}
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	reported := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || reported[obj] || !isRNGType(obj.Type()) {
+			return true
+		}
+		// Free variable: declared outside the literal's span.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		reported[obj] = true
+		pass.Reportf(id.Pos(),
+			"RNG %s captured by goroutine closure; streams are single-owner — pass a derived seed and construct the RNG inside", id.Name)
+		return true
+	})
+}
+
+// isPackageLevelRef reports whether expr refers to (a field chain of) a
+// package-level variable of pkg.
+func isPackageLevelRef(info *types.Info, pkg *types.Package, expr ast.Expr) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			v, ok := info.Uses[e].(*types.Var)
+			return ok && v.Parent() == pkg.Scope()
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}

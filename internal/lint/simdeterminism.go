@@ -39,6 +39,7 @@ func runSimDeterminism(pass *Pass) error {
 			case *ast.CallExpr:
 				checkWallClock(pass, n)
 				checkGlobalRand(pass, n)
+				checkClockFact(pass, n)
 			case *ast.RangeStmt:
 				checkMapRange(pass, n)
 			}
@@ -56,6 +57,23 @@ func checkWallClock(pass *Pass, call *ast.CallExpr) {
 	if name == "Now" || name == "Since" {
 		pass.Reportf(call.Pos(),
 			"time.%s reads the wall clock; simulation code must use the engine clock (sim.Engine.Now)", name)
+	}
+}
+
+// checkClockFact is the interprocedural half of the wall-clock rule:
+// calling a module function whose fact record says it reaches
+// time.Now/Since — through any number of hops in other packages — is
+// as nondeterministic as the direct read.
+func checkClockFact(pass *Pass, call *ast.CallExpr) {
+	f := funcObj(pass.TypesInfo, call)
+	if f == nil || !moduleFunc(f) {
+		return
+	}
+	fact := pass.Facts.Lookup(f)
+	if fact.Flags.Has(FactUsesWallClock) {
+		pass.Reportf(call.Pos(),
+			"%s reaches the wall clock (%s); simulation code must use the engine clock (sim.Engine.Now)",
+			shortFuncName(f), fact.ClockWhy)
 	}
 }
 

@@ -1,0 +1,24 @@
+// Fixture helper for simdeterminism's interprocedural half: functions
+// here reach the wall clock (or are sanctioned), and the consuming
+// fixture package must see that through FactUsesWallClock alone.
+package clockdep
+
+import "time"
+
+// now reads the wall clock directly: leaf finding here, and the fact
+// that taints every caller.
+func now() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// Stamp reaches the clock through now: flagged at the call, and
+// republished as its own fact for the next package over.
+func Stamp() int64 {
+	return now() // want "clockdep.now reaches the wall clock"
+}
+
+// Sanctioned reads the clock under a reviewed suppression: the marker
+// kills both the finding and the fact, so callers stay clean.
+func Sanctioned() int64 {
+	return time.Now().UnixNano() //lint:allow simdeterminism fixture: the one sanctioned clock read
+}

@@ -1,0 +1,13 @@
+// Fixture consumer: no time import anywhere, yet calls into clockdep
+// must be flagged purely from the facts the helper package published.
+package consumer
+
+import "mltcp/internal/lint/clockdep"
+
+func tainted() int64 {
+	return clockdep.Stamp() // want "clockdep.Stamp reaches the wall clock"
+}
+
+func clean() int64 {
+	return clockdep.Sanctioned() // suppression killed the fact upstream
+}

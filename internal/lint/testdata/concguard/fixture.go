@@ -1,0 +1,121 @@
+// Fixture for the concguard analyzer: every go statement needs join
+// evidence — a completion signal (WaitGroup Done, channel send/close)
+// that the spawning scope itself waits on (Wait, receive, select
+// receive, range). Path does not matter; concguard applies everywhere.
+package fixture
+
+import "sync"
+
+func work() {}
+
+func producer(ch chan int) { ch <- 1 }
+
+// --- joined correctly: no findings ---
+
+func joinedWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func joinedChannel() int {
+	done := make(chan int, 1)
+	go func() {
+		done <- 1
+	}()
+	return <-done
+}
+
+func joinedDeferredSend() int {
+	done := make(chan int, 1)
+	go func() {
+		defer func() { done <- 2 }() // signal from a deferred literal still counts
+		work()
+	}()
+	return <-done
+}
+
+func joinedSelect(stop chan struct{}) int {
+	done := make(chan int, 1)
+	go func() { done <- 3 }()
+	select {
+	case v := <-done:
+		return v
+	case <-stop:
+		return 0
+	}
+}
+
+func joinedRange() int {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		ch <- 4
+	}()
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+func joinedNamedFunc() int {
+	ch := make(chan int, 1)
+	go producer(ch) // the channel argument is the callee's signal
+	return <-ch
+}
+
+type server struct{ wg sync.WaitGroup }
+
+func (s *server) joinedField() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+	s.wg.Wait()
+}
+
+// --- violations ---
+
+func leakNoSignal() {
+	go work() // want "goroutine in leakNoSignal has no completion signal"
+}
+
+func leakLiteralNoSignal() {
+	go func() { // want "goroutine in leakLiteralNoSignal has no completion signal"
+		work()
+	}()
+}
+
+func leakUnjoined() chan int {
+	ch := make(chan int, 1)
+	go func() { // want "goroutine in leakUnjoined is not joined before the scope returns"
+		ch <- 1
+	}()
+	return ch // returned, but this scope never receives
+}
+
+func leakWaitGroupNoWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "goroutine in leakWaitGroupNoWait is not joined before the scope returns"
+		defer wg.Done()
+		work()
+	}()
+}
+
+func leakInNestedLiteral() func() {
+	return func() { // the literal is its own spawning scope
+		go work() // want "goroutine in leakInNestedLiteral .func literal. has no completion signal"
+	}
+}
+
+func justifiedLeak() {
+	//lint:allow concguard fixture: fire-and-forget justified, joined at process exit
+	go work()
+}

@@ -1,0 +1,23 @@
+// Fixture helper package: exports functions whose facts (SeedParams,
+// FactSpawnsGoroutine, FactDerivesSeed) the user-package fixture must
+// see across the package boundary.
+package seedlib
+
+import "mltcp/internal/sim"
+
+// Stream seeds an RNG from its parameter: Summarize publishes
+// SeedParams=[0], so every caller owes a derived value at position 0.
+func Stream(s uint64) *sim.RNG { return sim.NewRNG(s) }
+
+// ChildSeed derives unconditionally: callers may treat its result as
+// derived (FactDerivesSeed).
+func ChildSeed(index uint64) uint64 { return sim.DeriveSeed(7, index) }
+
+// SpawnWork spawns a goroutine (FactSpawnsGoroutine); passing an RNG to
+// it is an ownership escape seedflow flags at the call site.
+func SpawnWork(n int, r *sim.RNG) {
+	done := make(chan int, 1)
+	go func() { done <- n }()
+	<-done
+	_ = r
+}

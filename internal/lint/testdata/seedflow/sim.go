@@ -1,0 +1,25 @@
+// Fixture stand-in for mltcp/internal/sim: RunPkgs type-checks this
+// package first under the impersonated path, so the dependent fixture
+// packages resolve their sim import here instead of the real export
+// data. Only the RNG surface seedflow cares about is reproduced.
+package sim
+
+// RNG is the fixture stream type; seedflow recognizes it by its
+// (path, name) pair.
+type RNG struct{ state uint64 }
+
+// NewRNG builds a stream from raw seed material: the construction
+// seedflow polices.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// DeriveSeed is the sanctioned derivation root.
+func DeriveSeed(base, index uint64) uint64 { return base*0x9e3779b97f4a7c15 + index }
+
+// NewRNGAt is the sanctioned combined derive-and-construct helper.
+func NewRNGAt(base, index uint64) *RNG { return NewRNG(DeriveSeed(base, index)) }
+
+// Uint64 draws from the stream; its output is derived by definition.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return r.state
+}

@@ -124,15 +124,40 @@ func vetPackage(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return nil, fmt.Errorf("lint: parsing vet config %s: %w", cfgPath, err)
 	}
 
-	// Facts output: this suite exports none, but downstream packages'
-	// invocations expect the file to exist.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return nil, fmt.Errorf("lint: writing vetx output: %w", err)
+	// Facts input: merge the vetx files of every dependency cmd/go
+	// lists. A dependency vetted by an older tool build decodes as an
+	// empty store (DecodeFacts accepts empty input), so mixed caches
+	// degrade to fewer facts, never to errors.
+	store := NewFactStore()
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("lint: reading facts for %s: %w", path, err)
 		}
+		dep, err := DecodeFacts(data)
+		if err != nil {
+			return nil, fmt.Errorf("lint: facts for %s: %w", path, err)
+		}
+		store.Merge(dep)
 	}
-	if cfg.VetxOnly {
-		return nil, nil
+
+	base := cfg.ImportPath
+	if i := strings.Index(base, " ["); i >= 0 {
+		base = base[:i]
+	}
+	if !modulePath(base) {
+		// Non-module packages carry no facts: write the empty stub
+		// downstream invocations expect and skip straight out of
+		// facts-only mode (stdlib sources may not even parse cleanly
+		// with a plain go/parser pass).
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				return nil, fmt.Errorf("lint: writing vetx output: %w", err)
+			}
+		}
+		if cfg.VetxOnly {
+			return nil, nil
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -144,7 +169,7 @@ func vetPackage(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, errTypecheckTolerated
+				return nil, tolerate(&cfg)
 			}
 			return nil, fmt.Errorf("lint: %w", err)
 		}
@@ -166,12 +191,40 @@ func vetPackage(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pkg, info, soft, err := Check(fset, imp, cfg.ImportPath, files)
 	if err != nil || len(soft) > 0 {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, errTypecheckTolerated
+			return nil, tolerate(&cfg)
 		}
 		if err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("lint: type-checking %s: %v", cfg.ImportPath, soft[0])
 	}
-	return Analyze(fset, files, pkg, info, analyzers)
+
+	// Facts output: the package's own summary plus everything imported,
+	// re-exported so transitive facts survive even if cmd/go hands a
+	// dependent only its direct deps' vetx files. Encode is sorted and
+	// canonical, so repeated runs write byte-identical files — vet's
+	// action cache depends on that.
+	if modulePath(base) {
+		Summarize(fset, files, pkg, info, store)
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, store.Encode(), 0o666); err != nil {
+				return nil, fmt.Errorf("lint: writing vetx output: %w", err)
+			}
+		}
+		if cfg.VetxOnly {
+			return nil, nil
+		}
+	}
+	return AnalyzeFacts(fset, files, pkg, info, analyzers, store)
+}
+
+// tolerate honors SucceedOnTypecheckFailure: the vetx stub must still
+// be written so downstream invocations find their input file.
+func tolerate(cfg *vetConfig) error {
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return fmt.Errorf("lint: writing vetx output: %w", err)
+		}
+	}
+	return errTypecheckTolerated
 }

@@ -49,11 +49,20 @@ func trimUnit(v float64, unit string) string {
 // TransmissionTime returns how long it takes to serialize bytes onto a link
 // of this rate. It panics for non-positive rates, which are always
 // configuration errors.
+//
+// The panic formatting lives in a dedicated always-panicking helper so
+// this function stays allocation-free on its live path: it sits on the
+// per-packet dispatch chain of //hot netsim code, and the fact layer
+// exempts functions that panic on every path.
 func (r Rate) TransmissionTime(bytes int64) sim.Time {
 	if r <= 0 {
-		panic(fmt.Sprintf("units: transmission time at non-positive rate %v", r))
+		panicNonPositiveRate(r)
 	}
 	return sim.Time(math.Round(float64(bytes) * 8 / float64(r) * float64(sim.Second)))
+}
+
+func panicNonPositiveRate(r Rate) {
+	panic(fmt.Sprintf("units: transmission time at non-positive rate %v", r))
 }
 
 // BytesIn returns how many whole bytes this rate delivers in interval d.
