@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet-lint bench bench-baseline corpus train profile clean
+.PHONY: build test race lint vet-lint diff bench bench-baseline corpus train profile clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,13 @@ vet-lint: bin/mltcp-lint
 
 bin/mltcp-lint: $(wildcard internal/lint/*.go) $(wildcard cmd/mltcp-lint/*.go) go.mod
 	$(GO) build -o $@ ./cmd/mltcp-lint
+
+# Structurally diff two JSONL traces (docs/EXTENDING.md §13): exits 0
+# when byte-identical, 1 when only metadata (revision) differs, 2 on
+# divergence — with the first divergent event decoded and contextualized.
+#   make diff A=before.jsonl B=after.jsonl
+diff:
+	$(GO) run ./cmd/mltcp-diff $(A) $(B)
 
 # Run the pinned benchmark suite and gate against the checked-in
 # baseline (fail past 20% regression, warn past 10%).

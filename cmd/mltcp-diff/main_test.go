@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/config"
+	"mltcp/internal/telemetry"
+)
+
+// writeSeededTrace runs a short traced fluid scenario at the given seed
+// and writes its JSONL trace into dir.
+func writeSeededTrace(t *testing.T, dir, name string, seed uint64) string {
+	t.Helper()
+	scn := &config.Scenario{
+		Name:        "diff-cli-test",
+		Policy:      "mltcp",
+		DurationSec: 20,
+		Jobs: []config.Job{
+			{Name: "J1", Profile: "gpt2"},
+			{Name: "J2", Profile: "gpt2"},
+		},
+	}
+	rec, buf, reg := telemetry.NewBuffered(telemetry.Options{})
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+	if _, err := (&backend.Fluid{}).Run(ctx, scn, seed); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := telemetry.Write(&out, rec.Manifest(), buf.Events(), reg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSameSeedIdentical pins the acceptance contract: two same-seed
+// traces compare identical (exit 0) with byte-identical output across
+// repeated invocations.
+func TestSameSeedIdentical(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSeededTrace(t, dir, "a.jsonl", 1)
+	b := writeSeededTrace(t, dir, "b.jsonl", 1)
+	invoke := func() (int, string) {
+		var out bytes.Buffer
+		code, err := run(&out, a, b, 3, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return code, out.String()
+	}
+	code1, out1 := invoke()
+	code2, out2 := invoke()
+	if code1 != exitIdentical {
+		t.Fatalf("exit = %d, want %d; output:\n%s", code1, exitIdentical, out1)
+	}
+	if code1 != code2 || out1 != out2 {
+		t.Fatal("repeated invocations not byte-identical")
+	}
+	if !strings.Contains(out1, "class: identical") {
+		t.Errorf("output missing class line:\n%s", out1)
+	}
+}
+
+// TestSeedDriftDivergent: different seeds exit 2 with a seed-drift
+// classification.
+func TestSeedDriftDivergent(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSeededTrace(t, dir, "a.jsonl", 1)
+	b := writeSeededTrace(t, dir, "b.jsonl", 2)
+	var out bytes.Buffer
+	code, err := run(&out, a, b, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitDivergent {
+		t.Fatalf("exit = %d, want %d", code, exitDivergent)
+	}
+	if !strings.Contains(out.String(), "class: seed-drift") {
+		t.Errorf("output missing seed-drift class:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "seed: 1 vs 2") {
+		t.Errorf("output missing manifest seed diff:\n%s", out.String())
+	}
+}
+
+// TestPerturbedTracePinpointsEvent: corrupting one event line in an
+// otherwise identical trace must exit 2 and name exactly that event.
+func TestPerturbedTracePinpointsEvent(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSeededTrace(t, dir, "a.jsonl", 1)
+	raw, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(raw), "\n")
+	perturbedLine := ""
+	for i, line := range lines {
+		if strings.Contains(line, `"kind":"iter_end"`) && strings.Contains(line, `"iter":5`) {
+			lines[i] = strings.Replace(line, `"iter":5`, `"iter":55`, 1)
+			perturbedLine = lines[i]
+			break
+		}
+	}
+	if perturbedLine == "" {
+		t.Fatal("fixture trace has no iter_end with iter 5")
+	}
+	b := filepath.Join(dir, "b.jsonl")
+	if err := os.WriteFile(b, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	code, err := run(&out, a, b, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitDivergent {
+		t.Fatalf("exit = %d, want %d; output:\n%s", code, exitDivergent, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "first divergence:") {
+		t.Fatalf("no divergence section:\n%s", text)
+	}
+	if !strings.Contains(text, perturbedLine) {
+		t.Errorf("report does not quote the perturbed line %s:\n%s", perturbedLine, text)
+	}
+	if !strings.Contains(text, "iter: 5 vs 55") {
+		t.Errorf("report does not decode the changed field:\n%s", text)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSeededTrace(t, dir, "a.jsonl", 1)
+	b := writeSeededTrace(t, dir, "b.jsonl", 2)
+	var out bytes.Buffer
+	code, err := run(&out, a, b, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitDivergent {
+		t.Fatalf("exit = %d, want %d", code, exitDivergent)
+	}
+	if !strings.HasPrefix(out.String(), `{"kind":"trace-diff","schema":1,`) {
+		t.Errorf("JSON output header = %.60s", out.String())
+	}
+	if !strings.HasSuffix(out.String(), "}\n") {
+		t.Error("JSON output not newline-terminated")
+	}
+}
+
+func TestMissingFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSeededTrace(t, dir, "a.jsonl", 1)
+	var out bytes.Buffer
+	code, err := run(&out, a, filepath.Join(dir, "nope.jsonl"), 3, false)
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if code != exitError {
+		t.Fatalf("exit = %d, want %d", code, exitError)
+	}
+}
+
+func TestCorruptFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSeededTrace(t, dir, "a.jsonl", 1)
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{cut off\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := run(&out, a, bad, 3, false)
+	if err == nil || code != exitError {
+		t.Fatalf("corrupt file: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error not line-numbered: %v", err)
+	}
+}

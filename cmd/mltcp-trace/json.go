@@ -41,6 +41,15 @@ func writeJSON(w io.Writer, tr *telemetry.Trace, res *backend.Result, skip int) 
 
 	b = append(b, `,"events":`...)
 	b = strconv.AppendInt(b, int64(len(tr.Events)), 10)
+	// DroppedByLimiter is the recorder's sampling-limiter drop count,
+	// flushed into the trace registry at write time (0 for traces
+	// predating the counter).
+	var dropped int64
+	if tr.Metrics != nil {
+		dropped = tr.Metrics.Counters[telemetry.LimiterDropsMetric]
+	}
+	b = append(b, `,"dropped_by_limiter":`...)
+	b = strconv.AppendInt(b, dropped, 10)
 	b = append(b, `,"interleaved_at":`...)
 	b = strconv.AppendInt(b, int64(res.InterleavedAt), 10)
 	b = append(b, `,"overlap":`...)

@@ -48,12 +48,13 @@ func TestJSONSummaryStableAndComplete(t *testing.T) {
 	}
 
 	var doc struct {
-		Kind          string              `json:"kind"`
-		Schema        int                 `json:"schema"`
-		Manifest      *telemetry.Manifest `json:"manifest"`
-		Events        int                 `json:"events"`
-		InterleavedAt int                 `json:"interleaved_at"`
-		Overlap       float64             `json:"overlap"`
+		Kind             string              `json:"kind"`
+		Schema           int                 `json:"schema"`
+		Manifest         *telemetry.Manifest `json:"manifest"`
+		Events           int                 `json:"events"`
+		DroppedByLimiter int64               `json:"dropped_by_limiter"`
+		InterleavedAt    int                 `json:"interleaved_at"`
+		Overlap          float64             `json:"overlap"`
 		Jobs          []struct {
 			Flow         int     `json:"flow"`
 			Name         string  `json:"name"`

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -30,6 +31,10 @@ var (
 	widthFlag  = flag.Int("width", 100, "chart width in columns")
 	skipFlag   = flag.Int("skip", 20, "iterations to skip in steady-state averages")
 	jsonFlag   = flag.Bool("json", false, "emit the summary as stable machine-readable JSON instead of text")
+	explainFlag = flag.Bool("explain", false,
+		"explain the run instead of summarizing it: interleave verdict, phase bands, and per-iteration bottleneck attribution (with -json, the interleave report as stable JSON)")
+	promFlag = flag.Bool("prom", false,
+		"emit the trace's metrics snapshot in Prometheus text exposition format")
 )
 
 func main() {
@@ -55,6 +60,12 @@ func run(path string) error {
 	if err != nil {
 		return err
 	}
+	if *promFlag {
+		return writeProm(os.Stdout, tr)
+	}
+	if *explainFlag {
+		return explain(os.Stdout, tr, *jsonFlag)
+	}
 
 	res, err := backend.ResultFromTrace(tr.Manifest, tr.Events)
 	if err != nil {
@@ -78,7 +89,7 @@ func run(path string) error {
 	printJobs(res)
 	printCongestion(tr)
 	printCharts(tr, res)
-	printInterleaveEvolution(res)
+	printInterleaveEvolution(os.Stdout, res)
 	if tr.Metrics != nil {
 		printMetrics(tr.Metrics)
 	}
@@ -247,8 +258,9 @@ func printCharts(tr *telemetry.Trace, res *backend.Result) {
 // printInterleaveEvolution shows how the overlap score evolves over the
 // horizon: the fraction of communication time colliding with another job,
 // per quarter of the run — the signature of MLTCP's emergent interleaving
-// is this decaying toward zero.
-func printInterleaveEvolution(res *backend.Result) {
+// is this decaying toward zero. The closing line spells the convergence
+// iteration out, with -1 rendered as "never" instead of a bare sentinel.
+func printInterleaveEvolution(w io.Writer, res *backend.Result) {
 	if res.Duration <= 0 || len(res.Jobs) < 2 {
 		return
 	}
@@ -263,8 +275,13 @@ func printInterleaveEvolution(res *backend.Result) {
 			fmt.Sprintf("%.3f", score),
 		})
 	}
-	fmt.Print(trace.Table([]string{"window", "overlap"}, rows))
-	fmt.Println()
+	fmt.Fprint(w, trace.Table([]string{"window", "overlap"}, rows))
+	if res.InterleavedAt < 0 {
+		fmt.Fprintln(w, "interleaved-at: never (within horizon)")
+	} else {
+		fmt.Fprintf(w, "interleaved-at: iter %d\n", res.InterleavedAt)
+	}
+	fmt.Fprintln(w)
 }
 
 func printMetrics(s *telemetry.Snapshot) {

@@ -163,4 +163,13 @@ func TestDownsample(t *testing.T) {
 	if out := downsample(vals, 10); len(out) != len(vals) {
 		t.Fatal("short input should pass through")
 	}
+	if out := downsample(vals, len(vals)); len(out) != len(vals) {
+		t.Fatal("n == len should pass through")
+	}
+	if out := downsample(vals, 1); len(out) != 1 || out[0] != 3.5 {
+		t.Fatalf("downsample to one point = %v, want [3.5]", out)
+	}
+	if out := downsample(nil, 3); len(out) != 0 {
+		t.Fatalf("empty input = %v, want empty", out)
+	}
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"io"
+	"sort"
+
+	"mltcp/internal/obs"
+	"mltcp/internal/telemetry"
+)
+
+// writeProm renders the trace's metrics snapshot in Prometheus text
+// exposition format: counters as mltcp_trace_<name>_total, gauges as
+// mltcp_trace_<name>, histograms as full cumulative-bucket series.
+// Metric names are sanitized onto the exposition grammar ("." → "_");
+// families are emitted in sorted name order, so output is
+// byte-deterministic.
+func writeProm(w io.Writer, tr *telemetry.Trace) error {
+	p := &obs.PromWriter{}
+	if s := tr.Metrics; s != nil {
+		names := make([]string, 0, len(s.Counters))
+		for name := range s.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fam := "mltcp_trace_" + obs.SanitizePromName(name) + "_total"
+			p.Family(fam, "counter", "Trace counter "+name+".")
+			p.Value(fam, nil, float64(s.Counters[name]))
+		}
+
+		names = names[:0]
+		for name := range s.Gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fam := "mltcp_trace_" + obs.SanitizePromName(name)
+			p.Family(fam, "gauge", "Trace gauge "+name+".")
+			p.Value(fam, nil, s.Gauges[name])
+		}
+
+		names = names[:0]
+		for name := range s.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := s.Histograms[name]
+			fam := "mltcp_trace_" + obs.SanitizePromName(name)
+			p.Family(fam, "histogram", "Trace histogram "+name+".")
+			p.Histogram(fam, nil, h.Bounds, h.Counts, h.Count, h.Sum)
+		}
+	}
+	_, err := p.WriteTo(w)
+	return err
+}

@@ -177,6 +177,7 @@ func runOnce(b backend.Backend, scn *config.Scenario) error {
 		if err != nil {
 			return err
 		}
+		rec.FlushLimiterStats()
 		if err := telemetry.Write(f, rec.Manifest(), buf.Events(), reg); err != nil {
 			f.Close()
 			return err

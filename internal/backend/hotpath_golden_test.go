@@ -1,4 +1,4 @@
-package backend
+package backend_test
 
 import (
 	"bytes"
@@ -11,9 +11,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 
+	"mltcp/internal/backend"
 	"mltcp/internal/config"
+	"mltcp/internal/diagnose"
 	"mltcp/internal/telemetry"
 )
 
@@ -73,26 +76,26 @@ func hotpathPoints() []hotpathPoint {
 	}
 	return []hotpathPoint{
 		// Every checked-in scenario on the fluid backend, full horizon.
-		{"fluid/cluster-fattree", NameFluid, fileScenario("cluster-fattree.json", 0)},
-		{"fluid/fourjobs", NameFluid, fileScenario("fourjobs.json", 0)},
-		{"fluid/hetero", NameFluid, fileScenario("hetero.json", 0)},
-		{"fluid/noisy-six", NameFluid, fileScenario("noisy-six.json", 0)},
+		{"fluid/cluster-fattree", backend.NameFluid, fileScenario("cluster-fattree.json", 0)},
+		{"fluid/fourjobs", backend.NameFluid, fileScenario("fourjobs.json", 0)},
+		{"fluid/hetero", backend.NameFluid, fileScenario("hetero.json", 0)},
+		{"fluid/noisy-six", backend.NameFluid, fileScenario("noisy-six.json", 0)},
 		// Non-topology scenarios on the packet backend, horizon capped at
 		// 5 simulated seconds (full horizons cost minutes of wall time).
-		{"packet/fourjobs", NamePacket, fileScenario("fourjobs.json", 5)},
-		{"packet/hetero", NamePacket, fileScenario("hetero.json", 5)},
-		{"packet/noisy-six", NamePacket, fileScenario("noisy-six.json", 5)},
+		{"packet/fourjobs", backend.NamePacket, fileScenario("fourjobs.json", 5)},
+		{"packet/hetero", backend.NamePacket, fileScenario("hetero.json", 5)},
+		{"packet/noisy-six", backend.NamePacket, fileScenario("noisy-six.json", 5)},
 		// Synthetic points covering paths the examples miss: the ECN/DCTCP
 		// marking pipeline, and the fluid SRPT/PIAS allocators.
-		{"packet/dctcp-two-gpt2", NamePacket, synth("dctcp", 5, "gpt2", "gpt2")},
-		{"fluid/srpt-three", NameFluid, synth("srpt", 60, "gpt3", "gpt2", "gpt2")},
-		{"fluid/pias-three", NameFluid, synth("pias", 60, "gpt3", "gpt2", "gpt2")},
+		{"packet/dctcp-two-gpt2", backend.NamePacket, synth("dctcp", 5, "gpt2", "gpt2")},
+		{"fluid/srpt-three", backend.NameFluid, synth("srpt", 60, "gpt3", "gpt2", "gpt2")},
+		{"fluid/pias-three", backend.NameFluid, synth("pias", 60, "gpt3", "gpt2", "gpt2")},
 	}
 }
 
-func runHotpathPoint(t *testing.T, pt hotpathPoint) hotpathDigest {
+func runHotpathPoint(t *testing.T, pt hotpathPoint) (hotpathDigest, []byte) {
 	t.Helper()
-	b, err := New(pt.backendName)
+	b, err := backend.New(pt.backendName)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,6 +121,57 @@ func runHotpathPoint(t *testing.T, pt hotpathPoint) hotpathDigest {
 	return hotpathDigest{
 		Trace:  hex.EncodeToString(tsum[:]),
 		Result: hex.EncodeToString(rsum[:]),
+	}, trace.Bytes()
+}
+
+// diagnoseHotpathDivergence narrows a golden-digest mismatch down to an
+// event, using the trace differ. The golden file pins only hashes, so the
+// pre-refactor events are gone — but rerunning the point in the current
+// tree separates the two possible causes: if the rerun diverges from the
+// first run, the tree is nondeterministic and the report pinpoints the
+// first event that differs between the two same-seed runs; if the rerun
+// is byte-identical, behaviour changed deterministically relative to the
+// golden tree. Either way the report is logged, and also written to
+// $MLTCP_DIAG_DIR/<point>.txt when that variable is set (CI uploads the
+// directory as a failure artifact).
+func diagnoseHotpathDivergence(t *testing.T, pt hotpathPoint, firstTrace []byte) {
+	t.Helper()
+	_, rerun := runHotpathPoint(t, pt)
+
+	var report strings.Builder
+	fmt.Fprintf(&report, "hotpath golden divergence: point %s\n", pt.name)
+	if bytes.Equal(firstTrace, rerun) {
+		report.WriteString(
+			"rerun reproduces the new trace byte-for-byte: the current tree is\n" +
+				"deterministic, but its behaviour differs from the golden tree.\n" +
+				"If the change is intentional, re-bless with -update-hotpath;\n" +
+				"diff against a pre-change trace with mltcp-diff to localize it.\n")
+	} else {
+		a, errA := telemetry.Read(bytes.NewReader(firstTrace))
+		b, errB := telemetry.Read(bytes.NewReader(rerun))
+		if errA != nil || errB != nil {
+			t.Logf("cannot decode traces for diffing: %v / %v", errA, errB)
+			return
+		}
+		report.WriteString(
+			"two same-seed runs of the current tree produced different traces:\n" +
+				"the tree is NONDETERMINISTIC. First divergence between runs:\n\n")
+		d := diagnose.Compare(a, b, diagnose.Options{})
+		if err := d.WriteText(&report, "run1", "run2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Log(report.String())
+
+	if dir := os.Getenv("MLTCP_DIAG_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("MLTCP_DIAG_DIR: %v", err)
+			return
+		}
+		name := strings.ReplaceAll(pt.name, "/", "_") + ".txt"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(report.String()), 0o644); err != nil {
+			t.Logf("MLTCP_DIAG_DIR: %v", err)
+		}
 	}
 }
 
@@ -128,7 +182,9 @@ func runHotpathPoint(t *testing.T, pt hotpathPoint) hotpathDigest {
 // before and after the refactor. The golden digests were captured from
 // the pre-refactor tree; re-blessing them with -update-hotpath is only
 // legitimate for changes that intentionally alter simulation behaviour,
-// never for performance work.
+// never for performance work. On a digest mismatch the point is rerun and
+// the two traces fed through internal/diagnose, so the failure names the
+// first divergent event instead of two opaque hashes.
 func TestHotPathGoldenTraces(t *testing.T) {
 	goldenPath := filepath.FromSlash("testdata/hotpath_golden.json")
 	golden := map[string]hotpathDigest{}
@@ -146,7 +202,7 @@ func TestHotPathGoldenTraces(t *testing.T) {
 	for _, pt := range hotpathPoints() {
 		pt := pt
 		t.Run(pt.name, func(t *testing.T) {
-			d := runHotpathPoint(t, pt)
+			d, traceBytes := runHotpathPoint(t, pt)
 			got[pt.name] = d
 			if *updateHotpathGolden {
 				return
@@ -160,6 +216,9 @@ func TestHotPathGoldenTraces(t *testing.T) {
 			}
 			if d.Result != want.Result {
 				t.Errorf("Result diverged from the pre-refactor golden\n got  %s\n want %s", d.Result, want.Result)
+			}
+			if t.Failed() {
+				diagnoseHotpathDivergence(t, pt, traceBytes)
 			}
 		})
 	}

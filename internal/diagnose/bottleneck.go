@@ -1,0 +1,346 @@
+package diagnose
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/sim"
+	"mltcp/internal/telemetry"
+)
+
+// DefaultLink names the single shared link of the non-topology model.
+// Attribution reports use it when the manifest carries no fabric paths.
+const DefaultLink = "bottleneck"
+
+// FlowShare is one flow's allocation on one link over one iteration
+// window, against the two baselines the paper argues about: the fair
+// (equal) share and the aggressiveness-weighted share.
+type FlowShare struct {
+	Flow   int
+	Job    string
+	Iter   int
+	Weight float64
+	// RateBps is the flow's achieved rate over its communication phase,
+	// in bits/second; FairBps and WeightedBps are capacity/n and
+	// capacity*w/Σw over the flows sharing the link in this window.
+	RateBps     float64
+	FairBps     float64
+	WeightedBps float64
+}
+
+// LinkWindow is one link's state over one flow's iteration window.
+type LinkWindow struct {
+	Link string
+	// DemandBps sums the achieved rates of every flow communicating on
+	// the link during the window; Utilization is DemandBps/capacity.
+	DemandBps   float64
+	Utilization float64
+	// Flows holds each concurrent flow's share, ascending by flow ID.
+	Flows []FlowShare
+}
+
+// IterDiag attributes one (flow, iteration): which of the flow's path
+// links bound it, and the competing shares on each.
+type IterDiag struct {
+	Flow       int
+	Job        string
+	Iter       int
+	Start, End sim.Time
+	FCT        sim.Time
+	// Binding names the path link with the highest demand over the
+	// window (ties break lexicographically). Every path link's window
+	// is in Links, ascending by link name.
+	Binding string
+	Links   []LinkWindow
+}
+
+// LinkSummary aggregates one link across all attributed iterations.
+type LinkSummary struct {
+	Link  string
+	Flows []int
+	// PeakDemandBps and PeakUtilization are the busiest attributed
+	// window; BindingCount counts the (flow, iteration) windows this
+	// link bound.
+	PeakDemandBps   float64
+	PeakUtilization float64
+	BindingCount    int
+}
+
+// Attribution is the per-iteration bottleneck report for one trace.
+type Attribution struct {
+	Scenario    string
+	Backend     string
+	Topology    string
+	CapacityBps float64
+	Iters       []IterDiag
+	Links       []LinkSummary
+}
+
+// Attribute reconstructs which link was the binding constraint for each
+// (flow, iteration) of a trace, and every competing flow's achieved
+// share against its fair and weighted shares. It needs the manifest
+// (flow identity, capacity, paths) and the iteration events.
+func Attribute(tr *telemetry.Trace) (*Attribution, error) {
+	res, err := backend.ResultFromTrace(tr.Manifest, tr.Events)
+	if err != nil {
+		return nil, fmt.Errorf("diagnose: %w", err)
+	}
+	capBps := tr.Manifest.CapacityGbps * 1e9
+	at := &Attribution{
+		Scenario:    res.Scenario,
+		Backend:     res.Backend,
+		Topology:    tr.Manifest.Topology,
+		CapacityBps: capBps,
+	}
+
+	flows := make([]int, len(res.Jobs))
+	weights := latestAggWeights(tr.Events)
+	paths := make(map[int][]string, len(res.Jobs))
+	jobName := make(map[int]string, len(res.Jobs))
+	jobIdx := make(map[int]int, len(res.Jobs))
+	for i, jm := range tr.Manifest.Jobs {
+		flows[i] = jm.Flow
+		jobName[jm.Flow] = jm.Name
+		jobIdx[jm.Flow] = i
+		if len(jm.Links) > 0 {
+			paths[jm.Flow] = jm.Links
+		} else {
+			paths[jm.Flow] = []string{DefaultLink}
+		}
+	}
+
+	// phase returns flow f's communication window for iteration it, and
+	// its achieved rate; an unfinished final phase runs to the horizon.
+	phase := func(f, it int) (start, end sim.Time, rate float64, ok bool) {
+		j := res.Jobs[jobIdx[f]]
+		if it >= len(j.CommStarts) {
+			return 0, 0, 0, false
+		}
+		start = j.CommStarts[it]
+		if it < len(j.CommEnds) {
+			end = j.CommEnds[it]
+		} else {
+			end = res.Duration
+		}
+		if d := (end - start).Seconds(); d > 0 {
+			rate = float64(j.BytesPerIter) * 8 / d
+		}
+		return start, end, rate, true
+	}
+
+	linkFlows := make(map[string]map[int]bool)
+	linkSummaries := make(map[string]*LinkSummary)
+	summary := func(link string) *LinkSummary {
+		if s, ok := linkSummaries[link]; ok {
+			return s
+		}
+		s := &LinkSummary{Link: link}
+		linkSummaries[link] = s
+		return s
+	}
+
+	for _, f := range flows {
+		j := res.Jobs[jobIdx[f]]
+		for it := 0; it < len(j.CommStarts); it++ {
+			start, end, _, _ := phase(f, it)
+			if end <= start {
+				continue
+			}
+			diag := IterDiag{
+				Flow: f, Job: jobName[f], Iter: it,
+				Start: start, End: end, FCT: end - start,
+			}
+			for _, link := range paths[f] {
+				lw := LinkWindow{Link: link}
+				for _, g := range flows {
+					if !pathUses(paths[g], link) {
+						continue
+					}
+					gi := overlappingIter(res.Jobs[jobIdx[g]], start, end)
+					if gi < 0 {
+						continue
+					}
+					_, _, grate, ok := phase(g, gi)
+					if !ok {
+						continue
+					}
+					w := weights[g]
+					if w <= 0 {
+						w = 1
+					}
+					lw.Flows = append(lw.Flows, FlowShare{
+						Flow: g, Job: jobName[g], Iter: gi,
+						Weight: w, RateBps: grate,
+					})
+					lw.DemandBps += grate
+					if lf, ok := linkFlows[link]; ok {
+						lf[g] = true
+					} else {
+						linkFlows[link] = map[int]bool{g: true}
+					}
+				}
+				sort.Slice(lw.Flows, func(i, j int) bool { return lw.Flows[i].Flow < lw.Flows[j].Flow })
+				var wsum float64
+				for _, fs := range lw.Flows {
+					wsum += fs.Weight
+				}
+				n := float64(len(lw.Flows))
+				for i := range lw.Flows {
+					lw.Flows[i].FairBps = capBps / n
+					lw.Flows[i].WeightedBps = capBps * lw.Flows[i].Weight / wsum
+				}
+				if capBps > 0 {
+					lw.Utilization = lw.DemandBps / capBps
+				}
+				diag.Links = append(diag.Links, lw)
+				s := summary(link)
+				if lw.DemandBps > s.PeakDemandBps {
+					s.PeakDemandBps = lw.DemandBps
+					s.PeakUtilization = lw.Utilization
+				}
+			}
+			sort.Slice(diag.Links, func(i, j int) bool { return diag.Links[i].Link < diag.Links[j].Link })
+			diag.Binding = bindingLink(diag.Links)
+			if diag.Binding != "" {
+				summary(diag.Binding).BindingCount++
+			}
+			at.Iters = append(at.Iters, diag)
+		}
+	}
+	sort.Slice(at.Iters, func(i, j int) bool {
+		a, b := at.Iters[i], at.Iters[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Flow != b.Flow {
+			return a.Flow < b.Flow
+		}
+		return a.Iter < b.Iter
+	})
+
+	names := make([]string, 0, len(linkSummaries))
+	for name := range linkSummaries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := linkSummaries[name]
+		for f := range linkFlows[name] {
+			s.Flows = append(s.Flows, f)
+		}
+		sort.Ints(s.Flows)
+		at.Links = append(at.Links, *s)
+	}
+	return at, nil
+}
+
+// bindingLink picks the highest-demand link (ties lexicographic, which
+// the pre-sorted slice gives for free).
+func bindingLink(links []LinkWindow) string {
+	best, demand := "", -1.0
+	for _, lw := range links {
+		if lw.DemandBps > demand {
+			best, demand = lw.Link, lw.DemandBps
+		}
+	}
+	return best
+}
+
+// pathUses reports whether a path crosses a link.
+func pathUses(path []string, link string) bool {
+	for _, l := range path {
+		if l == link {
+			return true
+		}
+	}
+	return false
+}
+
+// overlappingIter returns the index of j's communication phase that
+// overlaps [start, end), or -1. With phases non-overlapping per job, at
+// most one qualifies; ties (abutting phases) resolve to the earliest.
+func overlappingIter(j backend.JobResult, start, end sim.Time) int {
+	for i := 0; i < len(j.CommStarts); i++ {
+		s := j.CommStarts[i]
+		e := end // unfinished final phase: treat as running past the window
+		if i < len(j.CommEnds) {
+			e = j.CommEnds[i]
+		}
+		if s < end && e > start {
+			return i
+		}
+		if s >= end {
+			break
+		}
+	}
+	return -1
+}
+
+// latestAggWeights maps each flow to its last recorded aggressiveness
+// factor (KindAgg V1) anywhere in the trace.
+func latestAggWeights(events []telemetry.Event) map[int]float64 {
+	w := make(map[int]float64)
+	for _, e := range events {
+		if e.Kind == telemetry.KindAgg {
+			w[e.Flow] = e.V1
+		}
+	}
+	return w
+}
+
+// WriteText renders the attribution, capping the per-iteration table at
+// maxIters rows (0 = all). Output is byte-deterministic.
+func (at *Attribution) WriteText(w io.Writer, maxIters int) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scenario: %s (%s backend)\n", at.Scenario, at.Backend)
+	topo := at.Topology
+	if topo == "" {
+		topo = "single bottleneck"
+	}
+	fmt.Fprintf(&sb, "topology: %s, capacity %s\n", topo, fmtBps(at.CapacityBps))
+	sb.WriteString("links:\n")
+	for _, ls := range at.Links {
+		fmt.Fprintf(&sb, "  %-24s flows=%v binding in %d windows, peak demand %s (%.0f%% util)\n",
+			ls.Link, ls.Flows, ls.BindingCount, fmtBps(ls.PeakDemandBps), 100*ls.PeakUtilization)
+	}
+	n := len(at.Iters)
+	shown := n
+	if maxIters > 0 && maxIters < n {
+		shown = maxIters
+	}
+	fmt.Fprintf(&sb, "iterations (%d of %d):\n", shown, n)
+	for _, d := range at.Iters[:shown] {
+		fmt.Fprintf(&sb, "  flow %d (%s) iter %d: [%v, %v) fct=%v binding=%s\n",
+			d.Flow, d.Job, d.Iter, d.Start, d.End, d.FCT, d.Binding)
+		for _, lw := range d.Links {
+			fmt.Fprintf(&sb, "    %s: demand %s (%.0f%% util)\n",
+				lw.Link, fmtBps(lw.DemandBps), 100*lw.Utilization)
+			for _, fs := range lw.Flows {
+				fmt.Fprintf(&sb, "      flow %d (%s, iter %d, w=%s): %s achieved, fair %s, weighted %s\n",
+					fs.Flow, fs.Job, fs.Iter, fmtFloat(fs.Weight),
+					fmtBps(fs.RateBps), fmtBps(fs.FairBps), fmtBps(fs.WeightedBps))
+			}
+		}
+	}
+	if shown < n {
+		fmt.Fprintf(&sb, "  ... %d more\n", n-shown)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// fmtBps renders a rate with a binary-free SI suffix (Gbps/Mbps/...).
+func fmtBps(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fGbps", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fMbps", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fKbps", v/1e3)
+	}
+	return fmt.Sprintf("%.0fbps", v)
+}

@@ -1,0 +1,139 @@
+package diagnose
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAttributeTwoJobs(t *testing.T) {
+	tr, res := runTraced(t, twoJobScenario(), "fluid", 1)
+	at, err := Attribute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Scenario != res.Scenario || at.Backend != "fluid" {
+		t.Errorf("identity = (%s, %s)", at.Scenario, at.Backend)
+	}
+	if len(at.Links) != 1 || at.Links[0].Link != DefaultLink {
+		t.Fatalf("links = %+v, want the single %q", at.Links, DefaultLink)
+	}
+	if got := at.Links[0].Flows; len(got) != 2 {
+		t.Errorf("link flows = %v, want both jobs", got)
+	}
+	if len(at.Iters) == 0 {
+		t.Fatal("no iterations attributed")
+	}
+	for _, d := range at.Iters {
+		if d.Binding != DefaultLink {
+			t.Fatalf("iter (%d,%d) binding = %q", d.Flow, d.Iter, d.Binding)
+		}
+		if d.End <= d.Start || d.FCT != d.End-d.Start {
+			t.Fatalf("iter (%d,%d) window [%v,%v) fct %v inconsistent", d.Flow, d.Iter, d.Start, d.End, d.FCT)
+		}
+		for _, lw := range d.Links {
+			var wsum, fsum float64
+			for _, fs := range lw.Flows {
+				wsum += fs.WeightedBps
+				fsum += fs.FairBps
+			}
+			// Fair and weighted shares each partition the capacity.
+			if !approx(fsum, at.CapacityBps, 1e-6) || !approx(wsum, at.CapacityBps, 1e-6) {
+				t.Fatalf("shares do not partition capacity: fair %v weighted %v cap %v",
+					fsum, wsum, at.CapacityBps)
+			}
+		}
+	}
+}
+
+func approx(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*b
+}
+
+// TestAttributeTopology: a fabric scenario must attribute against the
+// manifest's per-job path links, not the single-bottleneck default.
+func TestAttributeTopology(t *testing.T) {
+	tr, _ := runTraced(t, loadScenario(t, "cluster-fattree.json"), "fluid", 1)
+	at, err := Attribute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Topology == "" {
+		t.Fatal("topology not propagated")
+	}
+	for _, ls := range at.Links {
+		if ls.Link == DefaultLink {
+			t.Fatalf("topology run attributed to %q", DefaultLink)
+		}
+	}
+	// Every iteration's binding link must be on the flow's path.
+	paths := map[int][]string{}
+	for _, jm := range tr.Manifest.Jobs {
+		paths[jm.Flow] = jm.Links
+	}
+	for _, d := range at.Iters {
+		if !pathUses(paths[d.Flow], d.Binding) {
+			t.Fatalf("flow %d bound by off-path link %q (path %v)", d.Flow, d.Binding, paths[d.Flow])
+		}
+		if len(d.Links) != len(paths[d.Flow]) {
+			t.Fatalf("flow %d: %d link windows for a %d-link path", d.Flow, len(d.Links), len(paths[d.Flow]))
+		}
+	}
+}
+
+// TestAttributeLockedPairShares: on the hand-built fixture both flows
+// always collide, so each window shows two flows at equal fair shares.
+func TestAttributeLockedPairShares(t *testing.T) {
+	at, err := Attribute(lockedTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	capBps := 50.0 * 1e9
+	if at.CapacityBps != capBps {
+		t.Fatalf("capacity = %v", at.CapacityBps)
+	}
+	for _, d := range at.Iters {
+		if len(d.Links) != 1 || len(d.Links[0].Flows) != 2 {
+			t.Fatalf("iter (%d,%d): %+v, want 2 flows on one link", d.Flow, d.Iter, d.Links)
+		}
+		for _, fs := range d.Links[0].Flows {
+			if fs.FairBps != capBps/2 {
+				t.Errorf("fair share = %v, want %v", fs.FairBps, capBps/2)
+			}
+			// No agg events in the fixture: weights default to 1, so the
+			// weighted share equals the fair share.
+			if fs.Weight != 1 || fs.WeightedBps != fs.FairBps {
+				t.Errorf("weighted share = %v (w=%v), want fair %v", fs.WeightedBps, fs.Weight, fs.FairBps)
+			}
+		}
+	}
+	if at.Links[0].BindingCount != len(at.Iters) {
+		t.Errorf("binding count = %d over %d iters", at.Links[0].BindingCount, len(at.Iters))
+	}
+}
+
+func TestAttributeByteDeterministic(t *testing.T) {
+	tr, _ := runTraced(t, twoJobScenario(), "fluid", 1)
+	render := func() string {
+		at, err := Attribute(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var txt bytes.Buffer
+		if err := at.WriteText(&txt, 8); err != nil {
+			t.Fatal(err)
+		}
+		return txt.String()
+	}
+	r1, r2 := render(), render()
+	if r1 != r2 {
+		t.Error("attribution report not byte-deterministic")
+	}
+	if !strings.Contains(r1, "binding=") {
+		t.Errorf("report missing binding column:\n%.400s", r1)
+	}
+}

@@ -1,0 +1,99 @@
+package diagnose
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/config"
+	"mltcp/internal/sim"
+	"mltcp/internal/telemetry"
+)
+
+// twoJobScenario is the short deterministic scenario the differ and
+// attribution tests run.
+func twoJobScenario() *config.Scenario {
+	return &config.Scenario{
+		Name:        "diag-two-gpt2",
+		Policy:      "mltcp",
+		DurationSec: 20,
+		Jobs: []config.Job{
+			{Name: "J1", Profile: "gpt2"},
+			{Name: "J2", Profile: "gpt2"},
+		},
+	}
+}
+
+// runTraced runs the scenario under a recorder, serializes the trace,
+// and decodes it back — the exact round trip cmd/mltcp-diff sees.
+func runTraced(t testing.TB, scn *config.Scenario, backendName string, seed uint64) (*telemetry.Trace, *backend.Result) {
+	t.Helper()
+	b, err := backend.New(backendName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, buf, reg := telemetry.NewBuffered(telemetry.Options{})
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+	res, err := b.Run(ctx, scn, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := telemetry.Write(&out, rec.Manifest(), buf.Events(), reg); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := telemetry.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, res
+}
+
+// loadScenario decodes one checked-in example scenario.
+func loadScenario(t *testing.T, file string) *config.Scenario {
+	t.Helper()
+	f, err := os.Open(filepath.FromSlash("../../examples/scenarios/" + file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	scn, err := config.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &scn
+}
+
+// lockedTrace is a hand-built fixture of two flows that never converge:
+// every iteration takes twice its ideal, and both flows' communication
+// phases coincide exactly for the whole horizon.
+func lockedTrace() *telemetry.Trace {
+	m := &telemetry.Manifest{
+		Schema:       telemetry.SchemaVersion,
+		Scenario:     "locked-pair",
+		Backend:      "fluid",
+		Policy:       "mltcp",
+		Seed:         1,
+		CapacityGbps: 50,
+		Scale:        1,
+		DurationNS:   int64(16 * sim.Millisecond),
+		Jobs: []telemetry.ManifestJob{
+			{Flow: 1, Name: "J1", IdealNS: int64(sim.Millisecond), BytesPerIter: 1 << 20},
+			{Flow: 2, Name: "J2", IdealNS: int64(sim.Millisecond), BytesPerIter: 1 << 20},
+		},
+	}
+	var ev []telemetry.Event
+	for k := 0; k < 8; k++ {
+		s := sim.Time(k) * 2 * sim.Millisecond
+		e := s + 1900*sim.Microsecond
+		for _, f := range []int{1, 2} {
+			ev = append(ev,
+				telemetry.Event{At: s, Kind: telemetry.KindIterStart, Flow: f, N: int64(k)},
+				telemetry.Event{At: e, Kind: telemetry.KindIterEnd, Flow: f, N: int64(k), M: int64(e - s)})
+		}
+	}
+	return &telemetry.Trace{Manifest: m, Events: ev}
+}

@@ -1,0 +1,105 @@
+package diagnose
+
+import (
+	"fmt"
+	"strings"
+
+	"mltcp/internal/backend"
+)
+
+// FidelityDivergence pinpoints where two fidelity tiers' views of the
+// same job first disagree.
+type FidelityDivergence struct {
+	// Job indexes the job in scenario order; Name labels it.
+	Job  int
+	Name string
+	// Iter is the first iteration whose flow completion times differ by
+	// more than tol relative to the job's ideal (-1 when only the
+	// iteration counts differ).
+	Iter int
+	// FCTA and FCTB are the diverged completion times in seconds (the
+	// shorter side reports -1 past its last iteration).
+	FCTA, FCTB float64
+	// RelGap is |FCTA-FCTB| / ideal.
+	RelGap float64
+}
+
+// CompareResults locates, per job, the first iteration where two
+// backend results diverge beyond tol (relative to the job's ideal
+// iteration time). Jobs that agree within tol produce no entry. Use it
+// to turn a cross-fidelity tolerance failure ("MaxSlowdownGap too big")
+// into an actionable "job 2 diverges from iteration 14 on".
+func CompareResults(a, b *backend.Result, tol float64) []FidelityDivergence {
+	var out []FidelityDivergence
+	n := len(a.Jobs)
+	if len(b.Jobs) < n {
+		n = len(b.Jobs)
+	}
+	for ji := 0; ji < n; ji++ {
+		ja, jb := a.Jobs[ji], b.Jobs[ji]
+		ideal := ja.Ideal.Seconds()
+		if ideal <= 0 {
+			continue
+		}
+		iters := len(ja.FCTs)
+		if len(jb.FCTs) < iters {
+			iters = len(jb.FCTs)
+		}
+		found := false
+		for k := 0; k < iters; k++ {
+			fa, fb := ja.FCTs[k].Seconds(), jb.FCTs[k].Seconds()
+			gap := fa - fb
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap/ideal > tol {
+				out = append(out, FidelityDivergence{
+					Job: ji, Name: ja.Name, Iter: k,
+					FCTA: fa, FCTB: fb, RelGap: gap / ideal,
+				})
+				found = true
+				break
+			}
+		}
+		if !found && len(ja.FCTs) != len(jb.FCTs) {
+			fa, fb := -1.0, -1.0
+			if iters < len(ja.FCTs) {
+				fa = ja.FCTs[iters].Seconds()
+			}
+			if iters < len(jb.FCTs) {
+				fb = jb.FCTs[iters].Seconds()
+			}
+			out = append(out, FidelityDivergence{
+				Job: ji, Name: ja.Name, Iter: -1, FCTA: fa, FCTB: fb,
+			})
+		}
+	}
+	return out
+}
+
+// FormatFidelityDivergences renders CompareResults output for test
+// failure messages, naming the sides.
+func FormatFidelityDivergences(divs []FidelityDivergence, labelA, labelB string) string {
+	if len(divs) == 0 {
+		return fmt.Sprintf("%s and %s agree within tolerance on every per-iteration FCT", labelA, labelB)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s vs %s first per-iteration divergences:\n", labelA, labelB)
+	for _, d := range divs {
+		if d.Iter < 0 {
+			fmt.Fprintf(&sb, "  job %d (%s): iteration counts differ (next FCT %s vs %s)\n",
+				d.Job, d.Name, fmtSecondsOrEnd(d.FCTA), fmtSecondsOrEnd(d.FCTB))
+			continue
+		}
+		fmt.Fprintf(&sb, "  job %d (%s): iter %d FCT %.6fs vs %.6fs (gap %.1f%% of ideal)\n",
+			d.Job, d.Name, d.Iter, d.FCTA, d.FCTB, 100*d.RelGap)
+	}
+	return strings.TrimSuffix(sb.String(), "\n")
+}
+
+func fmtSecondsOrEnd(v float64) string {
+	if v < 0 {
+		return "<ended>"
+	}
+	return fmt.Sprintf("%.6fs", v)
+}

@@ -1,0 +1,73 @@
+package diagnose
+
+import (
+	"strings"
+	"testing"
+
+	"mltcp/internal/backend"
+	"mltcp/internal/sim"
+)
+
+func fidelityFixture(fctsA, fctsB []sim.Time) (*backend.Result, *backend.Result) {
+	mk := func(fcts []sim.Time) *backend.Result {
+		return &backend.Result{Jobs: []backend.JobResult{{
+			Name: "J1", Ideal: 100 * sim.Millisecond, FCTs: fcts,
+		}}}
+	}
+	return mk(fctsA), mk(fctsB)
+}
+
+func TestCompareResultsAgreeing(t *testing.T) {
+	a, b := fidelityFixture(
+		[]sim.Time{50 * sim.Millisecond, 52 * sim.Millisecond},
+		[]sim.Time{51 * sim.Millisecond, 50 * sim.Millisecond})
+	if divs := CompareResults(a, b, 0.05); len(divs) != 0 {
+		t.Errorf("within-tolerance results diverge: %+v", divs)
+	}
+}
+
+func TestCompareResultsFirstDivergence(t *testing.T) {
+	a, b := fidelityFixture(
+		[]sim.Time{50 * sim.Millisecond, 52 * sim.Millisecond, 90 * sim.Millisecond},
+		[]sim.Time{51 * sim.Millisecond, 53 * sim.Millisecond, 50 * sim.Millisecond})
+	divs := CompareResults(a, b, 0.05)
+	if len(divs) != 1 {
+		t.Fatalf("divergences = %+v, want one", divs)
+	}
+	d := divs[0]
+	if d.Iter != 2 || d.Job != 0 || d.Name != "J1" {
+		t.Errorf("divergence = %+v, want job 0 iter 2", d)
+	}
+	if d.RelGap < 0.39 || d.RelGap > 0.41 {
+		t.Errorf("rel gap = %v, want 0.4", d.RelGap)
+	}
+}
+
+func TestCompareResultsCountMismatch(t *testing.T) {
+	a, b := fidelityFixture(
+		[]sim.Time{50 * sim.Millisecond, 52 * sim.Millisecond},
+		[]sim.Time{50 * sim.Millisecond})
+	divs := CompareResults(a, b, 0.05)
+	if len(divs) != 1 || divs[0].Iter != -1 {
+		t.Fatalf("divergences = %+v, want one count-mismatch entry", divs)
+	}
+	if divs[0].FCTA < 0 || divs[0].FCTB >= 0 {
+		t.Errorf("sides = (%v, %v), want (next FCT, ended)", divs[0].FCTA, divs[0].FCTB)
+	}
+}
+
+func TestFormatFidelityDivergences(t *testing.T) {
+	a, b := fidelityFixture(
+		[]sim.Time{90 * sim.Millisecond},
+		[]sim.Time{50 * sim.Millisecond})
+	msg := FormatFidelityDivergences(CompareResults(a, b, 0.05), "fluid", "packet")
+	for _, want := range []string{"fluid vs packet", "job 0 (J1)", "iter 0"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	empty := FormatFidelityDivergences(nil, "fluid", "packet")
+	if !strings.Contains(empty, "agree within tolerance") {
+		t.Errorf("empty message = %q", empty)
+	}
+}

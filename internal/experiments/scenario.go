@@ -7,6 +7,7 @@ import (
 
 	"mltcp/internal/backend"
 	"mltcp/internal/config"
+	"mltcp/internal/diagnose"
 	"mltcp/internal/harness"
 )
 
@@ -70,6 +71,16 @@ func CrossFidelity(ctx context.Context, scn *config.Scenario, seed uint64, skip 
 	}
 	res.OverlapGap = math.Abs(fl.OverlapScore - pk.OverlapScore)
 	return res, nil
+}
+
+// Explain localizes a fidelity disagreement: for each job, the first
+// iteration whose fluid and packet completion times differ by more than
+// tol relative to the job's ideal iteration time. An aggregate gap
+// (MaxSlowdownGap, OverlapGap) says the fidelities disagree; this says
+// where they started to.
+func (r *CrossFidelityResult) Explain(tol float64) string {
+	divs := diagnose.CompareResults(r.Fluid, r.Packet, tol)
+	return diagnose.FormatFidelityDivergences(divs, "fluid", "packet")
 }
 
 // CanonicalTwoJob is the canonical cross-fidelity scenario: two GPT-2

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"reflect"
+	"strings"
 	"testing"
 
 	"mltcp/internal/backend"
@@ -55,6 +56,23 @@ func TestScenarioGridDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestCrossFidelityExplain pins the diagnosis hook on a cheap scenario:
+// a generous tolerance reports agreement, a zero tolerance names the
+// first diverging iteration per job.
+func TestCrossFidelityExplain(t *testing.T) {
+	t.Parallel()
+	cf, err := CrossFidelity(context.Background(), gridScenario(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := cf.Explain(1e9); !strings.Contains(msg, "agree within tolerance") {
+		t.Fatalf("generous tolerance did not report agreement: %s", msg)
+	}
+	if msg := cf.Explain(0); !strings.Contains(msg, "first per-iteration divergences") {
+		t.Fatalf("zero tolerance found no divergence between fidelities: %s", msg)
+	}
+}
+
 func TestScenarioGridSurfacesBackendErrors(t *testing.T) {
 	t.Parallel()
 	scn := gridScenario()
@@ -103,5 +121,11 @@ func TestCrossFidelityCanonicalAgreement(t *testing.T) {
 		if f, p := cf.Fluid.Jobs[i].Iterations(), cf.Packet.Jobs[i].Iterations(); f < 30 || p < 30 {
 			t.Errorf("job %d: too few iterations to compare (fluid %d, packet %d)", i, f, p)
 		}
+	}
+	if t.Failed() {
+		// Localize the disagreement: name the first iteration where each
+		// job's fluid and packet completion times drift past the slowdown
+		// tolerance, instead of leaving only aggregate gaps.
+		t.Log(cf.Explain(0.05))
 	}
 }

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter accumulates Prometheus text-exposition-format output
+// (version 0.0.4): "# HELP"/"# TYPE" family headers followed by
+// samples. Callers drive it with sorted data; the writer itself never
+// reorders, so output is a byte-deterministic function of the call
+// sequence.
+type PromWriter struct {
+	sb strings.Builder
+}
+
+// Label is one sample label. Slices of labels are emitted in the order
+// given — pre-sort them for canonical output.
+type Label struct {
+	Name, Value string
+}
+
+// Family opens a metric family: typ is one of "counter", "gauge",
+// "histogram", "summary", or "untyped".
+func (p *PromWriter) Family(name, typ, help string) {
+	if help != "" {
+		p.sb.WriteString("# HELP ")
+		p.sb.WriteString(name)
+		p.sb.WriteByte(' ')
+		p.sb.WriteString(escapeHelp(help))
+		p.sb.WriteByte('\n')
+	}
+	p.sb.WriteString("# TYPE ")
+	p.sb.WriteString(name)
+	p.sb.WriteByte(' ')
+	p.sb.WriteString(typ)
+	p.sb.WriteByte('\n')
+}
+
+// Value emits one sample.
+func (p *PromWriter) Value(name string, labels []Label, v float64) {
+	p.sb.WriteString(name)
+	p.writeLabels(labels)
+	p.sb.WriteByte(' ')
+	p.sb.WriteString(formatPromValue(v))
+	p.sb.WriteByte('\n')
+}
+
+// Histogram emits one histogram series: cumulative bucket counts with
+// "le" labels (buckets[i] counts observations in (bounds[i-1],
+// bounds[i]], non-cumulative, as internal/telemetry snapshots them), a
+// +Inf bucket, and the _sum/_count samples.
+func (p *PromWriter) Histogram(name string, labels []Label, bounds []float64, counts []int64, count int64, sum float64) {
+	var cum int64
+	for i, bound := range bounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		le := append(append([]Label(nil), labels...), Label{"le", formatPromValue(bound)})
+		p.Value(name+"_bucket", le, float64(cum))
+	}
+	le := append(append([]Label(nil), labels...), Label{"le", "+Inf"})
+	p.Value(name+"_bucket", le, float64(count))
+	p.Value(name+"_sum", labels, sum)
+	p.Value(name+"_count", labels, float64(count))
+}
+
+// WriteTo flushes the accumulated exposition.
+func (p *PromWriter) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, p.sb.String())
+	return int64(n), err
+}
+
+// String returns the accumulated exposition.
+func (p *PromWriter) String() string { return p.sb.String() }
+
+func (p *PromWriter) writeLabels(labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	p.sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			p.sb.WriteByte(',')
+		}
+		p.sb.WriteString(l.Name)
+		p.sb.WriteString(`="`)
+		p.sb.WriteString(escapeLabel(l.Value))
+		p.sb.WriteByte('"')
+	}
+	p.sb.WriteByte('}')
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string: backslash and newline only.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatPromValue renders a sample value, with the format's spellings
+// for infinities and NaN.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SanitizePromName maps an arbitrary metric name ("telemetry.limiter_drops")
+// onto the exposition grammar [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every
+// other byte with '_'.
+func SanitizePromName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}
+
+// runAggregate sums one backend's RunStats for exposition.
+type runAggregate struct {
+	runs           int64
+	events         uint64
+	wallSeconds    float64
+	simSeconds     float64
+	allocs         uint64
+	allocBytes     uint64
+	packetsSent    int64
+	packetsDropped int64
+	bytesSent      int64
+	peakHeapBytes  uint64
+	maxHeapDepth   int
+}
+
+// WritePromText renders collector snapshots and bench history as one
+// Prometheus text-format exposition: per-backend run aggregates, sweep
+// totals, and every bench point's comparison metrics. Any argument may
+// be empty/nil; its families are omitted. Output is byte-deterministic
+// for fixed inputs.
+func WritePromText(w io.Writer, runs []RunStats, sweeps []SweepStats, bench *BenchFile) error {
+	p := &PromWriter{}
+
+	if len(runs) > 0 {
+		agg := make(map[string]*runAggregate)
+		for _, r := range runs {
+			a, ok := agg[r.Backend]
+			if !ok {
+				a = &runAggregate{}
+				agg[r.Backend] = a
+			}
+			a.runs++
+			a.events += r.Events
+			a.wallSeconds += r.Wall.Seconds()
+			a.simSeconds += r.SimDuration.Seconds()
+			a.allocs += r.Allocs
+			a.allocBytes += r.AllocBytes
+			a.packetsSent += r.PacketsSent
+			a.packetsDropped += r.PacketsDropped
+			a.bytesSent += r.BytesSent
+			if r.PeakHeapBytes > a.peakHeapBytes {
+				a.peakHeapBytes = r.PeakHeapBytes
+			}
+			if r.MaxHeapDepth > a.maxHeapDepth {
+				a.maxHeapDepth = r.MaxHeapDepth
+			}
+		}
+		backends := make([]string, 0, len(agg))
+		for b := range agg {
+			backends = append(backends, b)
+		}
+		sort.Strings(backends)
+		counter := func(name, help string, get func(*runAggregate) float64) {
+			p.Family(name, "counter", help)
+			for _, b := range backends {
+				p.Value(name, []Label{{"backend", b}}, get(agg[b]))
+			}
+		}
+		gauge := func(name, help string, get func(*runAggregate) float64) {
+			p.Family(name, "gauge", help)
+			for _, b := range backends {
+				p.Value(name, []Label{{"backend", b}}, get(agg[b]))
+			}
+		}
+		counter("mltcp_runs_total", "Backend runs measured by the self-metrics collector.",
+			func(a *runAggregate) float64 { return float64(a.runs) })
+		counter("mltcp_run_events_total", "Scheduler work across runs: engine events fired or fluid integration steps.",
+			func(a *runAggregate) float64 { return float64(a.events) })
+		counter("mltcp_run_wall_seconds_total", "Wall-clock time spent inside backend runs.",
+			func(a *runAggregate) float64 { return a.wallSeconds })
+		counter("mltcp_run_sim_seconds_total", "Simulated time advanced across runs.",
+			func(a *runAggregate) float64 { return a.simSeconds })
+		counter("mltcp_run_allocs_total", "Heap allocations attributed to runs.",
+			func(a *runAggregate) float64 { return float64(a.allocs) })
+		counter("mltcp_run_alloc_bytes_total", "Heap bytes allocated by runs.",
+			func(a *runAggregate) float64 { return float64(a.allocBytes) })
+		counter("mltcp_run_packets_sent_total", "Packets delivered across every link (packet backend).",
+			func(a *runAggregate) float64 { return float64(a.packetsSent) })
+		counter("mltcp_run_packets_dropped_total", "Packets dropped across every link (packet backend).",
+			func(a *runAggregate) float64 { return float64(a.packetsDropped) })
+		counter("mltcp_run_bytes_sent_total", "Bytes delivered across every link (packet backend).",
+			func(a *runAggregate) float64 { return float64(a.bytesSent) })
+		gauge("mltcp_run_peak_heap_bytes", "Largest live-heap sample observed in any run.",
+			func(a *runAggregate) float64 { return float64(a.peakHeapBytes) })
+		gauge("mltcp_run_max_heap_depth", "Deepest engine event heap observed in any run.",
+			func(a *runAggregate) float64 { return float64(a.maxHeapDepth) })
+	}
+
+	if len(sweeps) > 0 {
+		var points, workers int
+		var wall, busy float64
+		for _, s := range sweeps {
+			points += s.Points
+			workers = s.Workers
+			wall += s.Wall.Seconds()
+			busy += s.BusyTime().Seconds()
+		}
+		last := sweeps[len(sweeps)-1]
+		p.Family("mltcp_sweeps_total", "counter", "Harness sweeps measured.")
+		p.Value("mltcp_sweeps_total", nil, float64(len(sweeps)))
+		p.Family("mltcp_sweep_points_total", "counter", "Scenario points executed across sweeps.")
+		p.Value("mltcp_sweep_points_total", nil, float64(points))
+		p.Family("mltcp_sweep_wall_seconds_total", "counter", "Wall-clock time spent inside sweeps.")
+		p.Value("mltcp_sweep_wall_seconds_total", nil, wall)
+		p.Family("mltcp_sweep_busy_seconds_total", "counter", "Summed per-point wall time across sweeps.")
+		p.Value("mltcp_sweep_busy_seconds_total", nil, busy)
+		p.Family("mltcp_sweep_workers", "gauge", "Worker pool size of the most recent sweep.")
+		p.Value("mltcp_sweep_workers", nil, float64(workers))
+		p.Family("mltcp_sweep_worker_utilization", "gauge", "Busy fraction of the most recent sweep's pool.")
+		p.Value("mltcp_sweep_worker_utilization", nil, last.Utilization())
+	}
+
+	if bench != nil && len(bench.Points) > 0 {
+		// One family per comparison metric, one sample per suite point.
+		// Metric order comes from PointMetrics; point order is suite order.
+		names := make([]string, 0)
+		seen := make(map[string]bool)
+		for _, mv := range PointMetrics(bench.Points[0]) {
+			if !seen[mv.Name] {
+				seen[mv.Name] = true
+				names = append(names, mv.Name)
+			}
+		}
+		for _, name := range names {
+			fam := "mltcp_bench_" + SanitizePromName(name)
+			p.Family(fam, "gauge", fmt.Sprintf("Bench suite %s per point (suite %s).", name, bench.Suite))
+			for _, pt := range bench.Points {
+				for _, mv := range PointMetrics(pt) {
+					if mv.Name != name {
+						continue
+					}
+					p.Value(fam, []Label{{"point", pt.Name}, {"backend", pt.Backend}}, mv.Value)
+				}
+			}
+		}
+	}
+
+	_, err := p.WriteTo(w)
+	return err
+}

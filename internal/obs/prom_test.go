@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"mltcp/internal/sim"
+)
+
+var updatePromGolden = flag.Bool("update-prom", false, "rewrite testdata/prom_golden.txt")
+
+// promFixture is a literal, machine-independent snapshot: hand-written
+// RunStats/SweepStats rather than live Collector output, because spans
+// read the wall clock.
+func promFixture() ([]RunStats, []SweepStats, *BenchFile) {
+	runs := []RunStats{
+		{
+			Backend: "fluid", SimDuration: 20 * sim.Second, Wall: 5 * time.Millisecond,
+			Events: 4000, PeakHeapBytes: 1 << 20, AllocBytes: 65536, Allocs: 120,
+		},
+		{
+			Backend: "packet", SimDuration: 5 * sim.Second, Wall: 80 * time.Millisecond,
+			Events: 900000, MaxHeapDepth: 64, PeakHeapBytes: 8 << 20,
+			AllocBytes: 4 << 20, Allocs: 50000,
+			PacketsSent: 123456, PacketsDropped: 78, BytesSent: 1 << 30,
+		},
+		{
+			Backend: "fluid", SimDuration: 60 * sim.Second, Wall: 12 * time.Millisecond,
+			Events: 11000, PeakHeapBytes: 2 << 20, AllocBytes: 131072, Allocs: 250,
+		},
+	}
+	sweeps := []SweepStats{
+		{
+			Points: 4, Workers: 2, Wall: 100 * time.Millisecond,
+			PointWall: []time.Duration{
+				25 * time.Millisecond, 25 * time.Millisecond,
+				25 * time.Millisecond, 25 * time.Millisecond,
+			},
+		},
+	}
+	bench := &BenchFile{
+		Schema: BenchSchema, Suite: "default", GoVersion: "go1.x", GOMAXPROCS: 8,
+		Points: []BenchPoint{
+			{
+				Name: "fluid/two-gpt2", Backend: "fluid", Jobs: 2, DurationSec: 20, Reps: 3,
+				WallNSMin: 4000000, WallNSMean: 4200000, Events: 4000,
+				EventsPerSec: 1e6, SimWallRatio: 5000,
+				AllocsPerOp: 120, AllocBytesPerOp: 65536, PeakHeapBytes: 1 << 20,
+				InterleavedAt: 17,
+			},
+			{
+				Name: "packet/two-gpt2", Backend: "packet", Jobs: 2, DurationSec: 5, Reps: 3,
+				WallNSMin: 80000000, WallNSMean: 81000000, Events: 900000,
+				EventsPerSec: 1.125e7, SimWallRatio: 62.5,
+				AllocsPerOp: 50000, AllocBytesPerOp: 4 << 20, PeakHeapBytes: 8 << 20,
+				MaxHeapDepth: 64, InterleavedAt: -1,
+			},
+		},
+	}
+	return runs, sweeps, bench
+}
+
+// TestWritePromTextGolden pins the exposition byte-for-byte.
+func TestWritePromTextGolden(t *testing.T) {
+	runs, sweeps, bench := promFixture()
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, runs, sweeps, bench); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom_golden.txt")
+	if *updatePromGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-prom to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden; got:\n%s", buf.String())
+	}
+}
+
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?[0-9.e+-]+|[+-]Inf|NaN)$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+)
+
+// validatePromText is a syntax checker for the exposition format: every
+// line is a HELP, a TYPE, or a well-formed sample, every sample belongs
+// to the most recently opened family, and no family repeats.
+func validatePromText(t *testing.T, text string) {
+	t.Helper()
+	if text == "" {
+		return
+	}
+	family := ""
+	seen := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		switch {
+		case helpRe.MatchString(line):
+		case typeRe.MatchString(line):
+			family = typeRe.FindStringSubmatch(line)[1]
+			if seen[family] {
+				t.Errorf("line %d: family %s opened twice", i+1, family)
+			}
+			seen[family] = true
+		case sampleRe.MatchString(line):
+			name := sampleRe.FindStringSubmatch(line)[1]
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+				"_bucket"), "_sum"), "_count")
+			if name != family && base != family {
+				t.Errorf("line %d: sample %s outside its family (current %s)", i+1, name, family)
+			}
+		default:
+			t.Errorf("line %d: not valid exposition syntax: %q", i+1, line)
+		}
+	}
+	if text != "" && !strings.HasSuffix(text, "\n") {
+		t.Error("exposition does not end in a newline")
+	}
+}
+
+// TestWritePromTextValid runs the syntax checker over the full fixture
+// and every subset, including the empty exposition.
+func TestWritePromTextValid(t *testing.T) {
+	runs, sweeps, bench := promFixture()
+	cases := []struct {
+		name   string
+		runs   []RunStats
+		sweeps []SweepStats
+		bench  *BenchFile
+	}{
+		{"full", runs, sweeps, bench},
+		{"runs-only", runs, nil, nil},
+		{"sweeps-only", nil, sweeps, nil},
+		{"bench-only", nil, nil, bench},
+		{"empty", nil, nil, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WritePromText(&buf, tc.runs, tc.sweeps, tc.bench); err != nil {
+				t.Fatal(err)
+			}
+			validatePromText(t, buf.String())
+		})
+	}
+}
+
+func TestWritePromTextDeterministic(t *testing.T) {
+	runs, sweeps, bench := promFixture()
+	render := func() string {
+		var buf bytes.Buffer
+		if err := WritePromText(&buf, runs, sweeps, bench); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Error("exposition not byte-deterministic")
+	}
+}
+
+// TestWritePromTextContent spot-checks the aggregation semantics.
+func TestWritePromTextContent(t *testing.T) {
+	runs, sweeps, bench := promFixture()
+	var buf bytes.Buffer
+	if err := WritePromText(&buf, runs, sweeps, bench); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`mltcp_runs_total{backend="fluid"} 2`,
+		`mltcp_runs_total{backend="packet"} 1`,
+		`mltcp_run_events_total{backend="fluid"} 15000`,
+		`mltcp_run_peak_heap_bytes{backend="fluid"} 2.097152e+06`, // max, not sum
+		`mltcp_run_packets_dropped_total{backend="packet"} 78`,
+		`mltcp_sweep_points_total 4`,
+		`mltcp_sweep_worker_utilization 0.5`,
+		`mltcp_bench_wall_ns_min{point="fluid/two-gpt2",backend="fluid"} 4e+06`,
+		`mltcp_bench_interleaved_at{point="packet/two-gpt2",backend="packet"} +Inf`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestPromWriterHistogram(t *testing.T) {
+	p := &PromWriter{}
+	p.Family("x_hist", "histogram", "test histogram")
+	p.Histogram("x_hist", []Label{{"flow", "1"}}, []float64{0.1, 1}, []int64{3, 4}, 9, 12.5)
+	text := p.String()
+	validatePromText(t, text)
+	for _, want := range []string{
+		`x_hist_bucket{flow="1",le="0.1"} 3`,
+		`x_hist_bucket{flow="1",le="1"} 7`, // cumulative
+		`x_hist_bucket{flow="1",le="+Inf"} 9`,
+		`x_hist_sum{flow="1"} 12.5`,
+		`x_hist_count{flow="1"} 9`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("histogram missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	p := &PromWriter{}
+	p.Family("x", "gauge", "a\nmultiline\\help")
+	p.Value("x", []Label{{"l", "quo\"te\\back\nnl"}}, 1)
+	text := p.String()
+	validatePromText(t, text)
+	if !strings.Contains(text, `x{l="quo\"te\\back\nnl"} 1`) {
+		t.Errorf("label not escaped: %s", text)
+	}
+}
+
+func TestSanitizePromName(t *testing.T) {
+	cases := map[string]string{
+		"telemetry.limiter_drops": "telemetry_limiter_drops",
+		"9lives":                  "_lives",
+		"ok_name:x9":              "ok_name:x9",
+		"":                        "_",
+		"a-b c":                   "a_b_c",
+	}
+	for in, want := range cases {
+		if got := SanitizePromName(in); got != want {
+			t.Errorf("SanitizePromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

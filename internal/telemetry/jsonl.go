@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime/debug"
 	"sort"
 	"strconv"
@@ -158,6 +159,61 @@ func appendEvent(b []byte, e Event) ([]byte, error) {
 	return append(b, '}'), nil
 }
 
+// EncodeEvent renders one event as its canonical JSON line — the exact
+// bytes Write would emit for it, without the trailing newline. Trace
+// analysis tools (internal/diagnose, cmd/mltcp-diff) use it to show
+// decoded events in reports, so a report's rendering of an event is
+// always the event's wire form.
+func EncodeEvent(e Event) (string, error) {
+	b, err := appendEvent(nil, e)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Field is one decoded payload field of an event: the schema's wire name
+// and the value formatted exactly as the JSONL encoding formats it.
+type Field struct {
+	Name  string
+	Value string
+}
+
+// Fields decodes the event's payload union into named fields, in wire
+// order. The names and per-kind selection mirror appendEvent, so field
+// lists in diagnostic reports match the trace schema one to one.
+func (e Event) Fields() []Field {
+	fF := func(name string, v float64) Field {
+		return Field{name, strconv.FormatFloat(v, 'g', -1, 64)}
+	}
+	fI := func(name string, v int64) Field {
+		return Field{name, strconv.FormatInt(v, 10)}
+	}
+	switch e.Kind {
+	case KindCwnd:
+		return []Field{fF("cwnd", e.V0), fF("ssthresh", e.V1), fI("srtt_ns", e.N)}
+	case KindRetransmit:
+		return []Field{fI("seq", e.N)}
+	case KindRTO:
+		return []Field{fI("rto_ns", e.N), fF("cwnd", e.V0)}
+	case KindFastRecovery:
+		return []Field{fF("ssthresh", e.V0), fF("cwnd", e.V1)}
+	case KindAgg:
+		return []Field{fF("ratio", e.V0), fF("factor", e.V1)}
+	case KindQueue:
+		return []Field{fI("bytes", e.N), fI("pkts", e.M)}
+	case KindDrop, KindECNMark:
+		return []Field{fI("bytes", e.N)}
+	case KindIterStart:
+		return []Field{fI("iter", e.N)}
+	case KindIterEnd:
+		return []Field{fI("iter", e.N), fI("comm_ns", e.M)}
+	case KindBandwidth:
+		return []Field{fI("bucket_ns", e.M), fF("bytes", e.V0)}
+	}
+	return nil
+}
+
 // wireEvent is the decode-side union of every event kind's fields.
 type wireEvent struct {
 	T        int64   `json:"t"`
@@ -264,7 +320,10 @@ type Trace struct {
 
 // Read decodes a JSONL trace written by Write. Manifest and metrics
 // lines are optional; unknown event kinds are an error (the schema is
-// versioned, not open-ended).
+// versioned, not open-ended). Every malformed line — truncated mid-write,
+// corrupted on disk, or hand-edited — fails with its line number rather
+// than decoding into a garbled partial trace, and a manifest from a
+// different schema version is rejected with both versions named.
 func Read(r io.Reader) (*Trace, error) {
 	tr := &Trace{}
 	sc := bufio.NewScanner(r)
@@ -280,25 +339,29 @@ func Read(r io.Reader) (*Trace, error) {
 			Kind string `json:"kind"`
 		}
 		if err := json.Unmarshal(line, &probe); err != nil {
-			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+			return nil, fmt.Errorf("telemetry: line %d: corrupt or truncated trace line: %w", lineNo, err)
 		}
 		switch probe.Kind {
 		case "manifest":
 			m := &Manifest{}
 			if err := json.Unmarshal(line, m); err != nil {
-				return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+				return nil, fmt.Errorf("telemetry: line %d: corrupt manifest: %w", lineNo, err)
+			}
+			if m.Schema != SchemaVersion {
+				return nil, fmt.Errorf("telemetry: line %d: trace is v%d, reader supports v%d",
+					lineNo, m.Schema, SchemaVersion)
 			}
 			tr.Manifest = m
 		case "metrics":
 			s := &Snapshot{}
 			if err := json.Unmarshal(line, s); err != nil {
-				return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+				return nil, fmt.Errorf("telemetry: line %d: corrupt metrics line: %w", lineNo, err)
 			}
 			tr.Metrics = s
 		default:
 			var w wireEvent
 			if err := json.Unmarshal(line, &w); err != nil {
-				return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+				return nil, fmt.Errorf("telemetry: line %d: corrupt or truncated trace line: %w", lineNo, err)
 			}
 			e, err := w.event()
 			if err != nil {
@@ -308,7 +371,23 @@ func Read(r io.Reader) (*Trace, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("telemetry: %w", err)
+		return nil, fmt.Errorf("telemetry: after line %d: %w", lineNo, err)
+	}
+	return tr, nil
+}
+
+// ReadTrace opens and decodes a JSONL trace file, annotating any decode
+// error with the path — the standard entry point for trace-consuming
+// tools (cmd/mltcp-trace, cmd/mltcp-diff, internal/diagnose callers).
+func ReadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return tr, nil
 }

@@ -265,6 +265,24 @@ func (r *Recorder) DroppedByLimiter() int64 {
 	return r.limDrops
 }
 
+// LimiterDropsMetric is the registry counter FlushLimiterStats records
+// the sampling limiter's drop count into. Trace consumers read it from
+// the metrics line to tell a sparse run from a rate-limited one.
+const LimiterDropsMetric = "telemetry.limiter_drops"
+
+// FlushLimiterStats records the sampling limiter's cumulative drop count
+// into the attached registry under LimiterDropsMetric. Call it exactly
+// once, immediately before serializing the trace (the counter is created
+// even at zero drops, so consumers can rely on its presence).
+func (r *Recorder) FlushLimiterStats() {
+	if r == nil {
+		return
+	}
+	if r.reg != nil {
+		r.reg.Counter(LimiterDropsMetric).Add(r.limDrops)
+	}
+}
+
 // CwndUpdate records a congestion-window sample (rate-limited per flow).
 func (r *Recorder) CwndUpdate(at sim.Time, flow int, cwnd, ssthresh float64, srtt sim.Time) {
 	if r == nil || !r.sampled(KindCwnd, flow, at) {
